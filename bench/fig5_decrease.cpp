@@ -1,0 +1,84 @@
+// Reproduces Fig. 5: time to decrease a container's size (removal of
+// round-robin replicas). The paper's finding: the dominant overhead is
+// waiting for the upstream DataTap writers to pause — which includes
+// draining in-flight transfers and the victims' in-progress work — so no
+// timestep is lost; because writes are asynchronous, the pause barely
+// disturbs the upstream data flow.
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ioc;
+
+core::PipelineSpec bench_spec() {
+  core::PipelineSpec spec;
+  spec.sim_nodes = 512;
+  spec.staging_nodes = 16;
+  spec.steps = 30;
+  spec.management_enabled = false;
+
+  core::ContainerSpec helper;
+  helper.name = "helper";
+  helper.kind = sp::ComponentKind::kHelper;
+  helper.model = sp::ComputeModel::kTree;
+  helper.initial_nodes = 4;
+  helper.essential = true;
+
+  // A round-robin Bonds container that is deliberately under-provisioned so
+  // a backlog keeps every replica busy: the decrease then has to drain real
+  // in-progress work, as in the paper's live-pipeline measurement.
+  core::ContainerSpec worker;
+  worker.name = "worker";
+  worker.kind = sp::ComponentKind::kBonds;
+  worker.model = sp::ComputeModel::kRoundRobin;
+  worker.initial_nodes = 10;
+  worker.upstream = "helper";
+
+  spec.containers = {helper, worker};
+  spec.validate();
+  return spec;
+}
+
+des::Process drive(core::StagedPipeline& p, std::uint32_t k,
+                   core::ProtocolReport* out) {
+  // Shrink mid-run, once the backlog has saturated every replica.
+  co_await des::delay(p.sim(), 250 * des::kSecond);
+  *out = co_await p.gm().decrease("worker", k);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Fig. 5: time to decrease container size",
+                 "Fig. 5 (decrease protocol overhead vs replicas removed)");
+
+  util::Table t({"replicas removed", "total (s)", "writer pause+drain (s)",
+                 "endpoint update (ms)", "GM<->CM msgs (ms)"});
+  bool pause_dominates = true;
+  for (std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    core::StagedPipeline p(bench_spec(), {});
+    core::ProtocolReport rep;
+    spawn(p.sim(), drive(p, k, &rep));
+    p.run();
+    if (!rep.ok) {
+      std::printf("decrease by %u failed\n", k);
+      continue;
+    }
+    const double total_s = des::to_seconds(rep.total);
+    const double pause_s = des::to_seconds(rep.pause_wait);
+    const double ep_ms = des::to_seconds(rep.endpoint_update) * 1e3;
+    const double gm_ms = des::to_seconds(rep.gm_cm_messaging) * 1e3;
+    t.add_row({util::Table::num(static_cast<long long>(k)),
+               util::Table::num(total_s, 3), util::Table::num(pause_s, 3),
+               util::Table::num(ep_ms, 3), util::Table::num(gm_ms, 3)});
+    pause_dominates = pause_dominates && pause_s > 0.9 * total_s;
+  }
+  t.print();
+
+  bench::shape_check(pause_dominates,
+                     "waiting for upstream DataTap writers to pause (and "
+                     "in-flight work to drain) dominates the decrease cost");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 6: microbenchmark of the resilience (transaction)
+// protocol overhead — time to complete one control transaction as a
+// function of the writer:reader core ratio. The paper's finding: the
+// solution scales well as the writer side grows.
+#include "bench_util.h"
+#include "des/simulator.h"
+#include "ev/bus.h"
+#include "net/cluster.h"
+#include "net/network.h"
+#include "txn/d2t.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ioc;
+
+struct Ratio {
+  std::size_t writers;
+  std::size_t readers;
+};
+
+des::Process run_txn(txn::TxnHarness& h, txn::TxnResult* out) {
+  *out = co_await h.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Fig. 6: resilience protocol (transaction) overhead",
+                 "Fig. 6 (txn completion time vs writer:reader core ratio)");
+
+  util::Table t({"writers:readers", "txn time (ms)", "messages", "outcome"});
+  std::vector<double> times;
+  std::vector<double> writer_counts;
+  for (const Ratio r : {Ratio{128, 2}, Ratio{256, 4}, Ratio{512, 4},
+                        Ratio{1024, 8}, Ratio{2048, 16}}) {
+    des::Simulator sim;
+    net::Cluster cluster(sim, 128);
+    net::Network net(cluster);
+    ev::Bus bus(net);
+    txn::TxnConfig cfg;
+    cfg.writers = r.writers;
+    cfg.readers = r.readers;
+    txn::TxnHarness h(bus, cfg);
+    txn::TxnResult res;
+    spawn(sim, run_txn(h, &res));
+    sim.run_until(300 * des::kSecond);
+    const double ms = des::to_seconds(res.duration) * 1e3;
+    times.push_back(ms);
+    writer_counts.push_back(static_cast<double>(r.writers));
+    t.add_row({std::to_string(r.writers) + ":" + std::to_string(r.readers),
+               util::Table::num(ms, 3),
+               util::Table::num(static_cast<long long>(res.messages)),
+               res.outcome == txn::Outcome::kCommitted ? "committed"
+                                                       : "aborted"});
+  }
+  t.print();
+
+  const bool monotone = times.back() > times.front();
+  const double growth = times.back() / times.front();
+  const double writers_growth = writer_counts.back() / writer_counts.front();
+  bench::shape_check(monotone, "txn time grows with the writer side");
+  bench::shape_check(growth <= writers_growth * 1.5,
+                     "scaling is at worst ~linear in writers (the paper's "
+                     "'good scalability')");
+  return 0;
+}

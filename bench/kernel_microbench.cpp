@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks of the real SmartPointer analytics
+// kernels and the mini-LAMMPS force loop — the compute costs the DES cost
+// model abstracts (see sp/costmodel.h for the calibration).
+#include <benchmark/benchmark.h>
+
+#include "md/force_lj.h"
+#include "md/lattice.h"
+#include "sp/bonds.h"
+#include "sp/cna.h"
+#include "sp/csym.h"
+#include "sp/helper.h"
+
+namespace {
+
+using namespace ioc;
+
+md::AtomData crystal(std::int64_t cells) {
+  return md::make_fcc(static_cast<std::size_t>(cells),
+                      static_cast<std::size_t>(cells),
+                      static_cast<std::size_t>(cells),
+                      md::kLjFccLatticeConstant);
+}
+
+void BM_LjForce(benchmark::State& state) {
+  auto atoms = crystal(state.range(0));
+  md::LjForce lj;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lj.compute(atoms));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(atoms.size()));
+}
+BENCHMARK(BM_LjForce)->Arg(4)->Arg(8);
+
+void BM_Bonds(benchmark::State& state) {
+  auto atoms = crystal(state.range(0));
+  sp::BondAnalysis bonds;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bonds.compute(atoms));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(atoms.size()));
+}
+BENCHMARK(BM_Bonds)->Arg(4)->Arg(8);
+
+void BM_BondsNaive(benchmark::State& state) {
+  auto atoms = crystal(state.range(0));
+  sp::BondAnalysis bonds;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bonds.compute_naive(atoms));
+  }
+}
+BENCHMARK(BM_BondsNaive)->Arg(4)->Arg(6);
+
+void BM_Csym(benchmark::State& state) {
+  auto atoms = crystal(state.range(0));
+  sp::CentralSymmetry csym;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csym.compute(atoms));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(atoms.size()));
+}
+BENCHMARK(BM_Csym)->Arg(4)->Arg(8);
+
+void BM_Cna(benchmark::State& state) {
+  auto atoms = crystal(state.range(0));
+  sp::CommonNeighborAnalysis cna({0.854 * md::kLjFccLatticeConstant});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cna.classify(atoms));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(atoms.size()));
+}
+BENCHMARK(BM_Cna)->Arg(4)->Arg(8);
+
+void BM_HelperAggregate(benchmark::State& state) {
+  auto atoms = crystal(8);
+  auto chunks = sp::AggregationTree::scatter(
+      atoms, static_cast<std::size_t>(state.range(0)));
+  sp::AggregationTree tree(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.aggregate(chunks));
+  }
+}
+BENCHMARK(BM_HelperAggregate)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Reproduces Table II: experiment data sizes — LAMMPS node count vs atom
+// count vs per-timestep output size under weak scaling.
+#include "bench_util.h"
+#include "md/workload.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace ioc;
+  bench::heading("Table II: experiment data sizes",
+                 "Table II (node count, atoms, data size per timestep)");
+
+  util::Table t({"nodes", "atoms", "data size", "paper row"});
+  bool exact = true;
+  for (const auto& row : md::WorkloadModel::kPaperRows) {
+    auto p = md::WorkloadModel::point(row.nodes);
+    exact = exact && p.atoms == row.atoms;
+    t.add_row({util::Table::num(static_cast<long long>(p.nodes)),
+               util::Table::num(static_cast<long long>(p.atoms)),
+               util::format_bytes(p.bytes_per_step),
+               util::format_bytes(row.bytes_per_step)});
+  }
+  // Interpolated points the model supports beyond the paper's rows.
+  for (std::uint64_t n : {128ull, 2048ull}) {
+    auto p = md::WorkloadModel::point(n);
+    t.add_row({util::Table::num(static_cast<long long>(p.nodes)),
+               util::Table::num(static_cast<long long>(p.atoms)),
+               util::format_bytes(p.bytes_per_step), "(model)"});
+  }
+  t.print("weak-scaling workload model:");
+
+  bench::shape_check(exact, "paper atom counts reproduced exactly");
+  auto p256 = md::WorkloadModel::point(256);
+  auto p1024 = md::WorkloadModel::point(1024);
+  bench::shape_check(
+      p1024.bytes_per_step > 3 * p256.bytes_per_step &&
+          p1024.bytes_per_step < 5 * p256.bytes_per_step,
+      "4x nodes -> ~4x data per step (weak scaling)");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// The paper's "current work" use case: the S3D combustion code with flame
+// front tracking. A Fisher-KPP premixed flame burns across a 2D domain
+// while the front tracker extracts the iso-contour every epoch, estimating
+// the propagation speed (against the analytic 2*sqrt(rD)) and the front
+// length (wrinkling). A fragment-style view of the burned region and a
+// provenance-labeled storage write round out the online pipeline.
+#include <cstdio>
+
+#include "des/simulator.h"
+#include "s3d/flame.h"
+#include "s3d/front.h"
+#include "sio/method.h"
+#include "sio/writer.h"
+#include "util/table.h"
+
+int main() {
+  using namespace ioc;
+
+  s3d::FlameConfig cfg;
+  cfg.nx = 384;
+  cfg.ny = 48;
+  cfg.ignition_noise = 0.8;  // wrinkle the young front
+  s3d::FlameSim sim(cfg, 11);
+  sim.ignite_left(6);
+
+  s3d::FrontTracker tracker;
+  s3d::FrontSpeedEstimator speed;
+
+  des::Simulator clock;
+  sio::Filesystem fs(clock);
+  sio::Group group("s3d.front");
+  group.define_var({"front_points", sio::DataType::kDouble, {0}});
+  sio::Writer writer(clock, group, std::make_shared<sio::PosixMethod>(fs));
+
+  util::Table t({"epoch", "t", "front x", "front length", "burned mass"});
+  sim.step(150);  // let the front relax toward its asymptotic profile
+  for (int epoch = 1; epoch <= 10; ++epoch) {
+    sim.step(60);
+    const double x = tracker.mean_front_x(sim.progress());
+    const double len = tracker.front_length(sim.progress());
+    speed.add(sim.time(), x);
+    t.add_row({util::Table::num(static_cast<long long>(epoch)),
+               util::Table::num(sim.time(), 1), util::Table::num(x, 2),
+               util::Table::num(len, 1),
+               util::Table::num(sim.burned_mass(), 0)});
+
+    // Persist the extracted front with provenance, as the online pipeline
+    // would.
+    auto pts = tracker.extract(sim.progress());
+    writer.open(static_cast<std::uint64_t>(epoch));
+    writer.write("front_points", pts.size() * 2);
+    writer.attribute(sio::kAttrProvenance, "s3d,front-tracker");
+    struct Runner {
+      static des::Process run(des::Task<bool> task) {
+        co_await std::move(task);
+      }
+    };
+    spawn(clock, Runner::run(writer.close()));
+    clock.run();
+  }
+  t.print("flame front tracking (S3D proxy):");
+
+  const double measured = speed.speed();
+  const double expected = sim.theoretical_front_speed();
+  std::printf("\nmeasured front speed %.3f vs KPP theory %.3f (%.1f%% off)\n",
+              measured, expected,
+              100.0 * std::abs(measured - expected) / expected);
+  std::printf("%zu front snapshots stored with provenance '%s'\n",
+              fs.objects().size(),
+              fs.objects().back().attributes.at(sio::kAttrProvenance).c_str());
+  return std::abs(measured - expected) < 0.25 * expected ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Resource management under pressure: the Fig. 9/10 scenario as a
+// narrative. A 1024-rank simulation feeds 24 staging nodes; the Bonds
+// container can never sustain the output rate, so the global manager
+// escalates: spare nodes -> donor search -> offline cascade with
+// provenance-labeled disk output. The event log, the monitoring view, and
+// the resource ledger are printed at each phase.
+#include <cstdio>
+
+#include "core/runtime.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ioc;
+
+void print_ledger(core::StagedPipeline& p) {
+  util::Table t({"owner", "nodes"});
+  for (const char* name : {"helper", "bonds", "csym", "cna"}) {
+    t.add_row({name, util::Table::num(static_cast<long long>(
+                         p.pool().owned_by(name)))});
+  }
+  t.add_row({"(spare)", util::Table::num(static_cast<long long>(
+                            p.pool().spare_count()))});
+  t.print("staging-node ledger:");
+  std::printf("conservation: %s\n\n",
+              p.pool().conserved() ? "intact" : "VIOLATED");
+}
+
+}  // namespace
+
+int main() {
+  auto spec = core::PipelineSpec::lammps_smartpointer(1024, 24);
+  spec.steps = 24;
+  core::StagedPipeline p(std::move(spec), {});
+
+  std::printf("workload: 1024 simulation nodes, %s per timestep, every %.0f s"
+              "\nstaging: 24 nodes (4 spare)\n\n",
+              "269 MB", p.spec().output_interval_s);
+  std::printf("--- before the run\n");
+  print_ledger(p);
+
+  p.run();
+
+  std::printf("--- management narrative\n");
+  for (const auto& e : p.events()) {
+    std::printf("[t=%7.1fs] %s %s (%+d nodes)\n      reason: %s\n",
+                des::to_seconds(e.at), e.action.c_str(), e.container.c_str(),
+                e.delta, e.reason.c_str());
+    if (e.report.pause_wait > 0) {
+      std::printf("      protocol: pause/drain %.1f s, metadata %.1f ms "
+                  "(%llu msgs), aprun %.1f s\n",
+                  des::to_seconds(e.report.pause_wait),
+                  des::to_seconds(e.report.metadata_exchange) * 1e3,
+                  static_cast<unsigned long long>(e.report.metadata_messages),
+                  des::to_seconds(e.report.aprun));
+    }
+  }
+
+  std::printf("\n--- after the run\n");
+  print_ledger(p);
+
+  util::Table status({"container", "state", "steps", "mode"});
+  for (const char* name : {"helper", "bonds", "csym", "cna"}) {
+    auto* c = p.container(name);
+    status.add_row(
+        {name, c->online() ? "online" : "offline",
+         util::Table::num(static_cast<long long>(c->steps_processed())),
+         c->disk_mode() ? "-> disk (provenance)"
+                        : (c->is_sink() ? "-> disk (sink)" : "-> staging")});
+  }
+  status.print("final pipeline:");
+
+  std::size_t labeled = 0;
+  for (const auto& obj : p.fs().objects()) {
+    if (obj.attributes.count(sio::kAttrPending) != 0) ++labeled;
+  }
+  std::printf("\n%zu object(s) on disk, %zu labeled with pending analytics "
+              "(to be applied post hoc)\n",
+              p.fs().objects().size(), labeled);
+  auto e2e = p.hub().history_for("pipeline", mon::MetricKind::kEndToEnd);
+  double peak = 0;
+  for (const auto& s : e2e) peak = std::max(peak, s.value);
+  std::printf("end-to-end latency peaked at %.0f s and ended at %.0f s after "
+              "the bottleneck was pruned\n",
+              peak, e2e.empty() ? 0.0 : e2e.back().value);
+  return 0;
+}

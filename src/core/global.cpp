@@ -1,0 +1,402 @@
+#include "core/global.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace ioc::core {
+
+GlobalManager::GlobalManager(Container::Env env, const PipelineSpec& spec,
+                             ResourcePool& pool,
+                             std::vector<Container*> containers, Options opt)
+    : env_(std::move(env)),
+      spec_(&spec),
+      pool_(pool),
+      containers_(std::move(containers)),
+      opt_(opt),
+      hub_(opt.monitoring_window) {
+  // The GM lives on its own node; by convention the deployment reserves
+  // node 1 for it.
+  mon_ep_ = env_.bus->open(1, "gm.monitor").id();
+  ctl_ep_ = env_.bus->open(1, "gm.control").id();
+  for (Container* c : containers_) c->set_gm_endpoint(mon_ep_);
+}
+
+GlobalManager::~GlobalManager() {
+  if (mon_ep_ != ev::kInvalidEndpoint) env_.bus->close(mon_ep_);
+  if (ctl_ep_ != ev::kInvalidEndpoint) env_.bus->close(ctl_ep_);
+}
+
+void GlobalManager::start() {
+  mon_proc_ = spawn(*env_.sim, monitor_loop());
+  if (spec_->management_enabled) {
+    policy_proc_ = spawn(*env_.sim, policy_loop());
+  }
+}
+
+void GlobalManager::fail() {
+  if (failed_) return;
+  failed_ = true;
+  stopping_ = true;
+  if (mon_ep_ != ev::kInvalidEndpoint) env_.bus->close(mon_ep_);
+  if (ctl_ep_ != ev::kInvalidEndpoint) env_.bus->close(ctl_ep_);
+  mon_ep_ = ev::kInvalidEndpoint;
+  ctl_ep_ = ev::kInvalidEndpoint;
+  IOC_WARN << "global manager failed (simulated crash)";
+}
+
+Container* GlobalManager::find(const std::string& name) const {
+  for (Container* c : containers_) {
+    if (c->name() == name) return c;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> GlobalManager::online_names() const {
+  std::vector<std::string> out;
+  for (Container* c : containers_) {
+    if (c->online()) out.push_back(c->name());
+  }
+  return out;
+}
+
+des::Process GlobalManager::monitor_loop() {
+  ev::Endpoint* ep = env_.bus->find(mon_ep_);
+  while (ep != nullptr) {
+    auto msg = co_await ep->mailbox().get();
+    if (!msg.has_value()) break;
+    if (msg->type != kMsgMetric) continue;
+    if (const auto* s = msg->as<mon::MetricSample>()) hub_.ingest(*s);
+  }
+}
+
+des::Process GlobalManager::policy_loop() {
+  while (!stopping_) {
+    co_await des::delay(*env_.sim, opt_.policy_interval);
+    if (stopping_) break;
+    co_await evaluate();
+  }
+}
+
+des::Task<ev::Message> GlobalManager::request_cm(Container* c,
+                                                 ev::Message m) {
+  co_return co_await env_.bus->request(ctl_ep_, c->manager_endpoint(),
+                                       std::move(m));
+}
+
+void GlobalManager::log_event(const std::string& action,
+                              const std::string& container,
+                              const std::string& reason, int delta,
+                              ProtocolReport report) {
+  ManagementEvent ev;
+  ev.at = env_.sim->now();
+  ev.action = action;
+  ev.container = container;
+  ev.reason = reason;
+  ev.delta = delta;
+  ev.report = std::move(report);
+  IOC_INFO << "GM " << action << " " << container << " (" << delta
+           << " nodes): " << reason;
+  events_.push_back(std::move(ev));
+}
+
+des::Task<ProtocolReport> GlobalManager::increase(const std::string& name,
+                                                  std::uint32_t n) {
+  ProtocolReport rep;
+  rep.action = "increase";
+  rep.container = name;
+  Container* c = find(name);
+  if (c == nullptr || n == 0) {
+    rep.ok = false;
+    co_return rep;
+  }
+  const net::NodeId near =
+      c->nodes().empty() ? net::NodeId{2} : c->nodes().front();
+  auto nodes = pool_.grant_near(name, n, near);
+  if (nodes.empty()) {
+    rep.ok = false;
+    co_return rep;
+  }
+  const des::SimTime t0 = env_.sim->now();
+  ev::Message m;
+  m.type = kMsgIncrease;
+  m.payload = IncreasePayload{nodes};
+  ev::Message reply = co_await request_cm(c, std::move(m));
+  if (const auto* done = reply.as<DonePayload>()) {
+    rep = done->report;
+  } else {
+    rep.ok = false;
+  }
+  rep.total = env_.sim->now() - t0;
+  rep.gm_cm_messaging = rep.total - rep.aprun - rep.metadata_exchange -
+                        rep.pause_wait - rep.endpoint_update -
+                        rep.state_migration;
+  if (!rep.ok) pool_.reclaim(name, nodes);
+  hub_.reset_container(name);
+  co_return rep;
+}
+
+des::Task<ProtocolReport> GlobalManager::decrease(const std::string& name,
+                                                  std::uint32_t k) {
+  ProtocolReport rep;
+  rep.action = "decrease";
+  rep.container = name;
+  Container* c = find(name);
+  if (c == nullptr || k == 0) {
+    rep.ok = false;
+    co_return rep;
+  }
+  const des::SimTime t0 = env_.sim->now();
+  ev::Message m;
+  m.type = kMsgDecrease;
+  m.payload = DecreasePayload{k};
+  ev::Message reply = co_await request_cm(c, std::move(m));
+  if (const auto* done = reply.as<DonePayload>()) {
+    rep = done->report;
+    pool_.reclaim(name, done->freed_nodes);
+  } else {
+    rep.ok = false;
+  }
+  rep.total = env_.sim->now() - t0;
+  rep.gm_cm_messaging = rep.total - rep.aprun - rep.metadata_exchange -
+                        rep.pause_wait - rep.endpoint_update -
+                        rep.state_migration;
+  hub_.reset_container(name);
+  co_return rep;
+}
+
+des::Task<ProtocolReport> GlobalManager::steal(const std::string& donor,
+                                               const std::string& recipient,
+                                               std::uint32_t k) {
+  ProtocolReport dec = co_await decrease(donor, k);
+  if (!dec.ok) co_return dec;
+  log_event("decrease", donor, "donating to " + recipient, dec.delta, dec);
+  ProtocolReport inc = co_await increase(recipient, k);
+  co_return inc;
+}
+
+std::pair<std::string, std::string> GlobalManager::provenance_labels(
+    const std::string& upto) const {
+  // Walk the chain from the source to `upto` (done), then past it (pending).
+  std::string done;
+  std::string pending;
+  bool past = false;
+  // Start from containers with no upstream and follow links.
+  std::string cur;
+  for (const auto& c : spec_->containers) {
+    if (c.upstream.empty()) cur = c.name;
+  }
+  while (!cur.empty()) {
+    const ContainerSpec* cs = spec_->find(cur);
+    if (cs == nullptr) break;
+    if (!past) {
+      if (!done.empty()) done += ",";
+      done += sp::component_name(cs->kind);
+    } else {
+      if (!pending.empty()) pending += ",";
+      pending += sp::component_name(cs->kind);
+    }
+    if (cur == upto) past = true;
+    // Find the (unique) container downstream of cur.
+    std::string next;
+    for (const auto& c : spec_->containers) {
+      if (c.upstream == cur) next = c.name;
+    }
+    cur = next;
+  }
+  return {done, pending};
+}
+
+des::Task<ProtocolReport> GlobalManager::offline_cascade(
+    const std::string& name, const std::string& reason) {
+  ProtocolReport rep;
+  rep.action = "offline";
+  rep.container = name;
+  Container* target = find(name);
+  if (target == nullptr || !target->online() || target->spec().essential) {
+    rep.ok = false;
+    co_return rep;
+  }
+  const des::SimTime t0 = env_.sim->now();
+
+  // The upstream survivor must switch its output to disk, labeling the data
+  // with its processing provenance, before the downstream stages disappear.
+  const std::string upstream = target->spec().upstream;
+  Container* survivor = upstream.empty() ? nullptr : find(upstream);
+  if (survivor != nullptr && survivor->online()) {
+    auto [done_ops, pending_ops] = provenance_labels(upstream);
+    ev::Message m;
+    m.type = kMsgSwitchToDisk;
+    m.payload = SwitchToDiskPayload{done_ops, pending_ops};
+    co_await request_cm(survivor, std::move(m));
+    survivor->set_sink(true);
+  }
+
+  // Take the target and everything depending on it offline (the paper's
+  // cascade: the GM "decreases each affected container's resources to 0").
+  std::vector<std::string> chain{name};
+  for (const auto& d : spec_->downstream_of(name)) chain.push_back(d);
+  for (const auto& cname : chain) {
+    Container* c = find(cname);
+    if (c == nullptr || !c->online()) continue;
+    ev::Message m;
+    m.type = kMsgOffline;
+    ev::Message reply = co_await request_cm(c, std::move(m));
+    if (const auto* done = reply.as<DonePayload>()) {
+      pool_.reclaim(cname, done->freed_nodes);
+      log_event("offline", cname, reason, done->report.delta,
+                done->report);
+    }
+  }
+  recompute_sinks();
+  rep.total = env_.sim->now() - t0;
+  co_return rep;
+}
+
+void GlobalManager::recompute_sinks() {
+  for (Container* c : containers_) {
+    if (!c->online()) continue;
+    if (c->disk_mode()) {
+      c->set_sink(true);
+      continue;
+    }
+    bool online_downstream = false;
+    for (Container* d : containers_) {
+      if (d->online() && d->spec().upstream == c->name()) {
+        online_downstream = true;
+      }
+    }
+    c->set_sink(!online_downstream);
+  }
+}
+
+des::Task<bool> GlobalManager::enable_hashes(const std::string& name,
+                                             bool enabled) {
+  Container* c = find(name);
+  if (c == nullptr) co_return false;
+  ev::Message m;
+  m.type = kMsgEnableHashes;
+  m.payload = EnableHashesPayload{enabled};
+  co_return co_await env_.bus->post(ctl_ep_, c->manager_endpoint(),
+                                    std::move(m));
+}
+
+des::Task<ProtocolReport> GlobalManager::activate(const std::string& name,
+                                                  std::uint32_t n) {
+  ProtocolReport rep;
+  rep.action = "activate";
+  rep.container = name;
+  Container* c = find(name);
+  if (c == nullptr || c->online()) {
+    rep.ok = false;
+    co_return rep;
+  }
+  auto nodes = pool_.grant(name, n);
+  if (nodes.empty()) {
+    rep.ok = false;
+    co_return rep;
+  }
+  ev::Message m;
+  m.type = kMsgActivate;
+  m.payload = IncreasePayload{nodes};
+  ev::Message reply = co_await request_cm(c, std::move(m));
+  if (const auto* done = reply.as<DonePayload>()) rep = done->report;
+  recompute_sinks();
+  log_event("activate", name, "dynamic branch", rep.delta, rep);
+  co_return rep;
+}
+
+des::Task<bool> GlobalManager::try_feed(Container* c,
+                                        const std::string& why) {
+  // Ask the container's local manager what it needs (only it understands
+  // its component's speedup behaviour).
+  ev::Message q;
+  q.type = kMsgQueryNeeds;
+  ev::Message reply = co_await request_cm(c, std::move(q));
+  const auto* needs = reply.as<NeedsPayload>();
+  std::uint32_t want = needs != nullptr ? needs->extra_nodes : 0;
+  if (want == 0) co_return false;  // latency is queue drain, not capacity
+  want = std::min(want, opt_.max_grant_per_action);
+
+  // Spare staging nodes first.
+  const auto spare = static_cast<std::uint32_t>(pool_.spare_count());
+  if (spare > 0) {
+    const std::uint32_t take = std::min(want, spare);
+    ProtocolReport rep = co_await increase(c->name(), take);
+    log_event("increase", c->name(), why + "; using spare nodes", rep.delta,
+              rep);
+    co_return true;
+  }
+
+  // Otherwise steal from the most over-provisioned donor.
+  Container* donor = nullptr;
+  double donor_latency = spec_->latency_sla_s * opt_.donor_slack_factor;
+  for (Container* d : containers_) {
+    if (!d->online() || d == c) continue;
+    const auto lat = hub_.avg_latency(d->name());
+    if (!lat.has_value()) continue;
+    if (d->width() <= d->spec().min_nodes) continue;
+    if (*lat < donor_latency) {
+      donor_latency = *lat;
+      donor = d;
+    }
+  }
+  if (donor != nullptr) {
+    const std::uint32_t give =
+        std::min(want, donor->width() - donor->spec().min_nodes);
+    if (give > 0) {
+      ProtocolReport rep = co_await steal(donor->name(), c->name(), give);
+      log_event("increase", c->name(),
+                why + "; stole " + std::to_string(give) + " nodes from " +
+                    donor->name(),
+                rep.delta, rep);
+      co_return true;
+    }
+  }
+  co_return false;
+}
+
+des::Task<void> GlobalManager::evaluate() {
+  const auto online = online_names();
+  if (online.empty()) co_return;
+
+  // SLA management: feed the container with the worst windowed latency.
+  auto bn = hub_.bottleneck(online);
+  if (bn.has_value()) {
+    Container* b = find(*bn);
+    const auto avg = hub_.avg_latency(*bn);
+    if (b != nullptr && avg.has_value() && *avg > spec_->latency_sla_s) {
+      const bool acted = co_await try_feed(
+          b, "latency " + std::to_string(*avg) + "s > SLA");
+      if (acted) co_return;
+    }
+  }
+
+  // Overflow guard: a container whose input backlog is heading for a queue
+  // overflow will eventually block the application. Feed it if resources
+  // can be found anywhere; failing that, prune it from the data path
+  // (Fig. 9), unless it is essential.
+  for (Container* c : containers_) {
+    if (!c->online() || c->input() == nullptr) continue;
+    const bool deep_backlog =
+        c->input()->backlog() > spec_->overflow_backlog;
+    // An upstream writer blocked on this stream means the stall has already
+    // propagated toward the application — the state the paper's runtime
+    // must prevent.
+    const bool blocking_upstream = c->input()->write_blocked();
+    if (!deep_backlog && !blocking_upstream) continue;
+    const std::string reason =
+        deep_backlog ? "backlog " + std::to_string(c->input()->backlog()) +
+                           " > overflow threshold"
+                     : "upstream writers blocked on a full staging buffer";
+    const bool fed = co_await try_feed(c, reason);
+    if (fed) co_return;
+    if (!c->spec().essential) {
+      co_await offline_cascade(c->name(),
+                               "no resources available and " + reason);
+    }
+    co_return;
+  }
+}
+
+}  // namespace ioc::core

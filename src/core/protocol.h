@@ -1,0 +1,85 @@
+// Control-protocol vocabulary between the global manager, container
+// managers, and component executables, plus the per-phase timing breakdown
+// the microbenchmarks report (paper Figs. 3-5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "des/time.h"
+#include "net/cluster.h"
+
+namespace ioc::core {
+
+// Message types (paper Fig. 3 exchanges).
+inline constexpr const char* kMsgIncrease = "INCREASE_REQ";
+inline constexpr const char* kMsgDecrease = "DECREASE_REQ";
+inline constexpr const char* kMsgOffline = "OFFLINE_REQ";
+inline constexpr const char* kMsgQueryNeeds = "QUERY_NEEDS";
+inline constexpr const char* kMsgSwitchToDisk = "SWITCH_TO_DISK";
+inline constexpr const char* kMsgActivate = "ACTIVATE_REQ";
+inline constexpr const char* kMsgDone = "DONE";
+inline constexpr const char* kMsgNeeds = "NEEDS";
+inline constexpr const char* kMsgReplicaHello = "REPLICA_HELLO";
+inline constexpr const char* kMsgReplicaConfig = "REPLICA_CONFIG";
+inline constexpr const char* kMsgEndpointUpdate = "ENDPOINT_UPDATE";
+inline constexpr const char* kMsgMetric = "METRIC";
+inline constexpr const char* kMsgEnableHashes = "ENABLE_HASHES";
+
+/// Where the time of a management operation went. Fig. 4 reports increase
+/// cost with aprun factored out and shows metadata exchange dominating;
+/// Fig. 5 shows decrease dominated by waiting for upstream DataTap writers
+/// to pause.
+struct ProtocolReport {
+  std::string action;     // "increase" / "decrease" / "offline" / "activate"
+  std::string container;
+  int delta = 0;          // nodes added (+) or removed (-)
+  des::SimTime total = 0;
+  des::SimTime gm_cm_messaging = 0;   // GM <-> CM point-to-point rounds
+  des::SimTime aprun = 0;             // batch-launch cost (factored out)
+  des::SimTime metadata_exchange = 0; // intra-container contact exchanges
+  des::SimTime pause_wait = 0;        // upstream writer pause/drain
+  des::SimTime endpoint_update = 0;   // re-pointing upstream writers
+  des::SimTime state_migration = 0;   // stateful components: moving state
+  std::uint64_t metadata_messages = 0;
+  bool ok = true;
+
+  des::SimTime total_without_aprun() const { return total - aprun; }
+};
+
+/// Payloads carried inside ev::Message::payload.
+struct IncreasePayload {
+  std::vector<net::NodeId> nodes;
+};
+struct DecreasePayload {
+  std::uint32_t count = 0;
+};
+struct DonePayload {
+  ProtocolReport report;
+  std::vector<net::NodeId> freed_nodes;
+};
+struct NeedsPayload {
+  std::uint32_t extra_nodes = 0;   // what the container wants
+  double predicted_latency = 0;    // with the extra nodes granted
+};
+struct EnableHashesPayload {
+  bool enabled = true;
+};
+struct SwitchToDiskPayload {
+  std::string provenance;  // analytics already applied to the data
+  std::string pending;     // analytics still owed to the data
+};
+
+/// One entry of the global manager's action log; benches and examples print
+/// these to show what management did and why.
+struct ManagementEvent {
+  des::SimTime at = 0;
+  std::string action;
+  std::string container;
+  std::string reason;
+  int delta = 0;
+  ProtocolReport report;
+};
+
+}  // namespace ioc::core

@@ -1,0 +1,97 @@
+#include "core/resources.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ioc::core {
+
+ResourcePool::ResourcePool(std::vector<net::NodeId> nodes) {
+  for (net::NodeId n : nodes) owner_[n] = "";
+}
+
+std::size_t ResourcePool::spare_count() const { return owned_by(""); }
+
+std::size_t ResourcePool::owned_by(const std::string& owner) const {
+  std::size_t n = 0;
+  for (const auto& [node, o] : owner_) {
+    if (o == owner) ++n;
+  }
+  return n;
+}
+
+std::vector<net::NodeId> ResourcePool::nodes_of(
+    const std::string& owner) const {
+  std::vector<net::NodeId> out;
+  for (const auto& [node, o] : owner_) {
+    if (o == owner) out.push_back(node);
+  }
+  return out;
+}
+
+const std::string& ResourcePool::owner_of(net::NodeId n) const {
+  auto it = owner_.find(n);
+  if (it == owner_.end()) {
+    throw std::invalid_argument("ResourcePool: unknown node " +
+                                std::to_string(n));
+  }
+  return it->second;
+}
+
+std::vector<net::NodeId> ResourcePool::grant(const std::string& owner,
+                                             std::size_t n) {
+  std::vector<net::NodeId> out;
+  for (auto& [node, o] : owner_) {
+    if (out.size() == n) break;
+    if (o.empty()) {
+      o = owner;
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+std::vector<net::NodeId> ResourcePool::grant_near(const std::string& owner,
+                                                  std::size_t n,
+                                                  net::NodeId near) {
+  std::vector<net::NodeId> spare;
+  for (auto& [node, o] : owner_) {
+    if (o.empty()) spare.push_back(node);
+  }
+  std::sort(spare.begin(), spare.end(), [near](net::NodeId a, net::NodeId b) {
+    const auto da = a > near ? a - near : near - a;
+    const auto db = b > near ? b - near : near - b;
+    if (da != db) return da < db;
+    return a < b;
+  });
+  if (spare.size() > n) spare.resize(n);
+  for (net::NodeId node : spare) owner_[node] = owner;
+  return spare;
+}
+
+void ResourcePool::reclaim(const std::string& owner,
+                           const std::vector<net::NodeId>& nodes) {
+  transfer(owner, "", nodes);
+}
+
+void ResourcePool::transfer(const std::string& from, const std::string& to,
+                            const std::vector<net::NodeId>& nodes) {
+  // Validate everything before mutating anything, so a bad call cannot leave
+  // a half-applied trade.
+  for (net::NodeId n : nodes) {
+    if (owner_of(n) != from) {
+      throw std::invalid_argument("ResourcePool: node " + std::to_string(n) +
+                                  " not owned by '" + from + "'");
+    }
+  }
+  for (net::NodeId n : nodes) owner_[n] = to;
+}
+
+bool ResourcePool::conserved() const {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [node, o] : owner_) ++counts[o];
+  std::size_t sum = 0;
+  for (const auto& [o, c] : counts) sum += c;
+  return sum == owner_.size();
+}
+
+}  // namespace ioc::core

@@ -1,0 +1,53 @@
+// Staging-area resource inventory. Under the batch-scheduler model the job
+// owns a fixed set of staging nodes for its whole run; containers carve it
+// up, and every grant/reclaim goes through this ledger so conservation can
+// be asserted at any time (the property the control transactions protect).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/cluster.h"
+
+namespace ioc::core {
+
+class ResourcePool {
+ public:
+  /// `nodes`: the staging nodes the job was allocated.
+  explicit ResourcePool(std::vector<net::NodeId> nodes);
+
+  std::size_t total() const { return owner_.size(); }
+  std::size_t spare_count() const;
+  std::size_t owned_by(const std::string& owner) const;
+  std::vector<net::NodeId> nodes_of(const std::string& owner) const;
+  /// "" when spare; throws if the node is not in the pool.
+  const std::string& owner_of(net::NodeId n) const;
+
+  /// Take up to `n` spare nodes for `owner`; returns the nodes granted
+  /// (possibly fewer than requested, possibly none).
+  std::vector<net::NodeId> grant(const std::string& owner, std::size_t n);
+  /// Like grant(), but prefers spare nodes closest (by node-id distance) to
+  /// `near` — locality-aware placement reduces simulation-to-analytics data
+  /// movement on topologies where distance costs latency.
+  std::vector<net::NodeId> grant_near(const std::string& owner, std::size_t n,
+                                      net::NodeId near);
+  /// Return specific nodes to the spare set. Throws if `owner` does not own
+  /// one of them.
+  void reclaim(const std::string& owner,
+               const std::vector<net::NodeId>& nodes);
+  /// Move nodes directly between owners (a trade). Throws on ownership
+  /// mismatch.
+  void transfer(const std::string& from, const std::string& to,
+                const std::vector<net::NodeId>& nodes);
+
+  /// True iff every node has exactly one owner entry (the map structure
+  /// enforces this) and the per-owner counts add up to the pool size.
+  bool conserved() const;
+
+ private:
+  std::map<net::NodeId, std::string> owner_;  // "" = spare
+};
+
+}  // namespace ioc::core

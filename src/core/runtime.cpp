@@ -1,0 +1,176 @@
+#include "core/runtime.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace ioc::core {
+
+StagedPipeline::StagedPipeline(PipelineSpec spec, Options opt)
+    : spec_(std::move(spec)), opt_(opt) {
+  spec_.validate();
+
+  // Node plan: 0 = simulation I/O proxy, 1 = global manager, 2.. = staging.
+  cluster_ = std::make_unique<net::Cluster>(sim_, 2 + spec_.staging_nodes);
+  net_ = std::make_unique<net::Network>(*cluster_, opt_.network);
+  batch_ = std::make_unique<net::BatchScheduler>(*cluster_,
+                                                 util::Rng(opt_.seed));
+  bus_ = std::make_unique<ev::Bus>(*net_);
+  fs_ = std::make_unique<sio::Filesystem>(sim_);
+  cost_ = sp::CostModel(opt_.cost);
+
+  std::vector<net::NodeId> staging;
+  for (std::size_t i = 0; i < spec_.staging_nodes; ++i) {
+    staging.push_back(static_cast<net::NodeId>(2 + i));
+  }
+  pool_ = std::make_unique<ResourcePool>(staging);
+
+  dt::StreamConfig scfg;
+  scfg.buffer_capacity = opt_.stream_buffer_bytes;
+  scfg.scheduled_pulls = opt_.scheduled_pulls;
+  source_stream_ = std::make_unique<dt::Stream>(*net_, 0, scfg);
+
+  Container::Env& env = env_;
+  env.sim = &sim_;
+  env.bus = bus_.get();
+  env.batch = batch_.get();
+  env.fs = fs_.get();
+  env.cost = &cost_;
+  env.pipeline = &spec_;
+  env.stream_config = scfg;
+  env.upstream_width = [this](const std::string& upstream) -> std::uint32_t {
+    if (upstream.empty()) {
+      // Simulation-side DataTap writers: one I/O aggregator per 64 ranks.
+      return static_cast<std::uint32_t>(std::max<std::uint64_t>(
+          1, spec_.sim_nodes / 64));
+    }
+    for (const auto& c : containers_) {
+      if (c->name() == upstream) return std::max<std::uint32_t>(1, c->width());
+    }
+    return 1;
+  };
+
+  // Build containers in dependency order so each finds its input stream.
+  std::map<std::string, dt::Stream*> outputs;
+  std::vector<const ContainerSpec*> pending;
+  for (const auto& c : spec_.containers) pending.push_back(&c);
+  while (!pending.empty()) {
+    bool progress = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const ContainerSpec& cs = **it;
+      dt::Stream* input = nullptr;
+      if (cs.upstream.empty()) {
+        input = source_stream_.get();
+      } else if (auto oit = outputs.find(cs.upstream); oit != outputs.end()) {
+        input = oit->second;
+      } else {
+        ++it;
+        continue;
+      }
+      std::vector<net::NodeId> nodes;
+      if (!cs.starts_offline) nodes = pool_->grant(cs.name, cs.initial_nodes);
+      const net::NodeId head = nodes.empty() ? net::NodeId{1} : nodes.front();
+      auto container =
+          std::make_unique<Container>(env, cs, nodes, head, input);
+      outputs[cs.name] = &container->output();
+      containers_.push_back(std::move(container));
+      it = pending.erase(it);
+      progress = true;
+    }
+    if (!progress) {
+      throw std::runtime_error("StagedPipeline: unresolvable pipeline order");
+    }
+  }
+
+  std::vector<Container*> ptrs;
+  for (const auto& c : containers_) ptrs.push_back(c.get());
+  gm_ = std::make_unique<GlobalManager>(env, spec_, *pool_, ptrs, opt_.gm);
+
+  // The sink: the most-downstream container that starts online.
+  for (const auto& c : containers_) {
+    if (!c->online()) continue;
+    bool has_online_downstream = false;
+    for (const auto& d : containers_) {
+      if (d->online() && d->spec().upstream == c->name()) {
+        has_online_downstream = true;
+      }
+    }
+    c->set_sink(!has_online_downstream);
+  }
+}
+
+StagedPipeline::~StagedPipeline() = default;
+
+des::Process StagedPipeline::source_loop() {
+  const md::WorkloadPoint workload = md::WorkloadModel::point(spec_.sim_nodes);
+  const des::SimTime interval = des::from_seconds(spec_.output_interval_s);
+  for (std::uint64_t step = 0; step < spec_.steps; ++step) {
+    co_await des::delay(sim_, interval);
+    dt::StepData d;
+    d.step = step;
+    d.bytes = workload.bytes_per_step;
+    d.items = workload.atoms;
+    d.created = sim_.now();
+    d.origin = sim_.now();
+    const bool ok = co_await source_stream_->write(std::move(d));
+    if (!ok) break;
+    ++steps_emitted_;
+  }
+  source_stream_->close();
+}
+
+des::Process StagedPipeline::completion_watch() {
+  bool waited = true;
+  while (waited) {
+    waited = false;
+    for (const auto& c : containers_) {
+      if (c->done().is_set()) continue;
+      if (!c->online()) continue;  // dormant stage, never activated
+      co_await c->done().wait();
+      waited = true;
+    }
+  }
+  all_done_ = true;
+  gm_->stop();
+}
+
+des::SimTime StagedPipeline::run() {
+  if (!started_) {
+    started_ = true;
+    for (const auto& c : containers_) c->start();
+    gm_->start();
+    spawn(sim_, source_loop());
+    spawn(sim_, completion_watch());
+  }
+  while (!all_done_ && sim_.now() < opt_.horizon) {
+    if (!sim_.step()) break;
+  }
+  // Drain in-flight control work (e.g. a cascade that was mid-protocol when
+  // the last stage finished) and let the policy loop observe the stop flag.
+  while (sim_.now() < opt_.horizon && sim_.step()) {
+  }
+  if (!all_done_) {
+    IOC_WARN << "StagedPipeline: run stopped before pipeline drained (t="
+             << des::format_time(sim_.now()) << ")";
+  }
+  return sim_.now();
+}
+
+GlobalManager& StagedPipeline::failover_gm() {
+  gm_->fail();
+  std::vector<Container*> ptrs;
+  for (const auto& c : containers_) ptrs.push_back(c.get());
+  // The standby takes over: fresh endpoints, containers re-pointed, soft
+  // state (monitoring windows) rebuilt from the ongoing sample stream.
+  gm_ = std::make_unique<GlobalManager>(env_, spec_, *pool_, ptrs, opt_.gm);
+  gm_->recompute_sinks();
+  gm_->start();
+  return *gm_;
+}
+
+double StagedPipeline::sim_blocked_seconds() const {
+  return source_stream_->total_block_seconds();
+}
+
+}  // namespace ioc::core

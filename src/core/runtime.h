@@ -1,0 +1,104 @@
+// The deployment: builds a complete staged-analytics run from a
+// PipelineSpec — modeled cluster, network, bus, filesystem, streams,
+// containers, global manager, and the simulation-output source — and runs
+// it to completion on the virtual clock. This is the entry point the
+// examples and the Figs. 7-10 benches drive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/container.h"
+#include "core/global.h"
+#include "core/resources.h"
+#include "core/spec.h"
+#include "des/simulator.h"
+#include "dt/stream.h"
+#include "ev/bus.h"
+#include "md/workload.h"
+#include "net/cluster.h"
+#include "net/network.h"
+#include "net/scheduler.h"
+#include "sio/method.h"
+#include "sp/costmodel.h"
+
+namespace ioc::core {
+
+class StagedPipeline {
+ public:
+  struct Options {
+    GlobalManager::Options gm;
+    std::uint64_t seed = 1;
+    bool scheduled_pulls = true;
+    /// Writer-side staging buffer per stream (the aggregate memory the
+    /// writing container can devote to DataTap buffering); small values
+    /// surface application blocking sooner.
+    std::uint64_t stream_buffer_bytes = 16ull * 1024 * 1024 * 1024;
+    /// Hard wall for the virtual clock, as a safety net.
+    des::SimTime horizon = 4 * 3600 * des::kSecond;
+    sp::CostModelConfig cost;
+    /// Interconnect model (latency, bandwidth, topology term).
+    net::NetworkConfig network;
+  };
+
+  StagedPipeline(PipelineSpec spec, Options opt);
+  explicit StagedPipeline(PipelineSpec spec)
+      : StagedPipeline(std::move(spec), Options{}) {}
+  ~StagedPipeline();
+  StagedPipeline(const StagedPipeline&) = delete;
+  StagedPipeline& operator=(const StagedPipeline&) = delete;
+
+  /// Run the whole campaign: the source emits spec.steps timesteps at the
+  /// output interval; returns once every container has drained (or the
+  /// horizon hit). Returns the final virtual time.
+  des::SimTime run();
+
+  // --- results ------------------------------------------------------------
+  GlobalManager& gm() { return *gm_; }
+  /// Crash the current global manager and promote a standby in its place
+  /// (paper Section III-B: ZooKeeper-like resilience for the otherwise
+  /// single point of failure). Containers re-point their monitoring to the
+  /// new manager; its aggregate view rebuilds from the live stream.
+  GlobalManager& failover_gm();
+  const mon::MonitoringHub& hub() const { return gm_->hub(); }
+  const std::vector<ManagementEvent>& events() const {
+    return gm_->events();
+  }
+  Container* container(const std::string& name) { return gm_->find(name); }
+  const PipelineSpec& spec() const { return spec_; }
+  sio::Filesystem& fs() { return *fs_; }
+  ResourcePool& pool() { return *pool_; }
+  dt::Stream& source_stream() { return *source_stream_; }
+  net::Network& network() { return *net_; }
+  des::Simulator& sim() { return sim_; }
+  /// Virtual seconds the simulation spent blocked on a full staging buffer.
+  double sim_blocked_seconds() const;
+  /// Timesteps emitted by the source so far.
+  std::uint64_t steps_emitted() const { return steps_emitted_; }
+
+ private:
+  des::Process source_loop();
+  des::Process completion_watch();
+
+  PipelineSpec spec_;
+  Options opt_;
+  des::Simulator sim_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<net::BatchScheduler> batch_;
+  std::unique_ptr<ev::Bus> bus_;
+  std::unique_ptr<sio::Filesystem> fs_;
+  sp::CostModel cost_;
+  Container::Env env_;
+  std::unique_ptr<ResourcePool> pool_;
+  std::unique_ptr<dt::Stream> source_stream_;
+  std::vector<std::unique_ptr<Container>> containers_;
+  std::unique_ptr<GlobalManager> gm_;
+  std::uint64_t steps_emitted_ = 0;
+  bool all_done_ = false;
+  bool started_ = false;
+};
+
+}  // namespace ioc::core

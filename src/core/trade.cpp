@@ -1,0 +1,33 @@
+#include "core/trade.h"
+
+namespace ioc::core {
+
+bool DonorTradeOp::prepare() {
+  for (net::NodeId n : nodes_) {
+    if (pool_->owner_of(n) != donor_) return false;
+  }
+  pool_->transfer(donor_, kEscrow, nodes_);
+  reserved_ = true;
+  return true;
+}
+
+void DonorTradeOp::commit() { reserved_ = false; }
+
+void DonorTradeOp::abort() {
+  if (reserved_) pool_->transfer(kEscrow, donor_, nodes_);
+  reserved_ = false;
+}
+
+bool RecipientTradeOp::prepare() {
+  // The recipient can always accept; real validation (enough memory on the
+  // nodes, etc.) would go here.
+  return true;
+}
+
+void RecipientTradeOp::commit() {
+  pool_->transfer(DonorTradeOp::kEscrow, recipient_, nodes_);
+}
+
+void RecipientTradeOp::abort() {}
+
+}  // namespace ioc::core

@@ -1,0 +1,56 @@
+// Transactional resource trade: wraps a ResourcePool node transfer in D2T
+// operations so that, under arbitrary participant failures, the donor and
+// recipient views stay consistent — a node removed from one container is
+// either successfully given to the other or restored, never lost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/resources.h"
+#include "txn/d2t.h"
+
+namespace ioc::core {
+
+/// Donor-side operation: reserves the nodes at prepare (they leave the
+/// donor), finalizes the removal at commit, restores them at abort.
+class DonorTradeOp : public txn::Operation {
+ public:
+  DonorTradeOp(ResourcePool& pool, std::string donor,
+               std::vector<net::NodeId> nodes)
+      : pool_(&pool), donor_(std::move(donor)), nodes_(std::move(nodes)) {}
+
+  bool prepare() override;
+  void commit() override;
+  void abort() override;
+
+  static constexpr const char* kEscrow = "__txn_escrow__";
+
+ private:
+  ResourcePool* pool_;
+  std::string donor_;
+  std::vector<net::NodeId> nodes_;
+  bool reserved_ = false;
+};
+
+/// Recipient-side operation: verifies the nodes are in escrow at prepare and
+/// claims them at commit.
+class RecipientTradeOp : public txn::Operation {
+ public:
+  RecipientTradeOp(ResourcePool& pool, std::string recipient,
+                   std::vector<net::NodeId> nodes)
+      : pool_(&pool),
+        recipient_(std::move(recipient)),
+        nodes_(std::move(nodes)) {}
+
+  bool prepare() override;
+  void commit() override;
+  void abort() override;
+
+ private:
+  ResourcePool* pool_;
+  std::string recipient_;
+  std::vector<net::NodeId> nodes_;
+};
+
+}  // namespace ioc::core

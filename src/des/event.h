@@ -1,0 +1,78 @@
+// Broadcast condition flag. set() wakes everything waiting; wait() on an
+// already-set event passes straight through. Used for pause/resume
+// handshakes and cooperative stop signals.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "des/simulator.h"
+
+namespace ioc::des {
+
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(&sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sim_->schedule_now(h);
+    waiters_.clear();
+  }
+
+  void reset() { set_ = false; }
+
+  struct Awaiter {
+    Event* e;
+    bool await_ready() const noexcept { return e->set_; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      e->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter wait() { return Awaiter{this}; }
+
+ private:
+  Simulator* sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Condition-variable analogue: wait() always suspends until the next
+/// notify_all(). Use in a predicate loop, exactly like std::condition_variable:
+///   while (!pred()) co_await cond.wait();
+class Condition {
+ public:
+  explicit Condition(Simulator& sim) : sim_(&sim) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  void notify_all() {
+    for (auto h : waiters_) sim_->schedule_now(h);
+    waiters_.clear();
+  }
+
+  struct Awaiter {
+    Condition* c;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      c->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{this}; }
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace ioc::des

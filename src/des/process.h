@@ -1,0 +1,239 @@
+// Coroutine "process" model for the DES, in the style of process-oriented
+// simulation frameworks: a Process is a top-level actor driven by the
+// Simulator's virtual clock; a Task<T> is a value-returning sub-coroutine
+// awaited by a Process (or another Task) and resumed by symmetric transfer.
+//
+// Lifetime rules:
+//  * Process handles are reference counted. The coroutine frame is destroyed
+//    when it has finished AND no handle refers to it; a detached process
+//    (all handles dropped) self-destroys when it runs to completion.
+//  * A process abandoned while suspended (e.g. blocked on a queue when the
+//    simulation ends) leaks its frame; cancellation is cooperative — close
+//    the queue or set the stop Event it waits on.
+//  * Task frames are owned by the Task object, which lives in the awaiting
+//    coroutine's frame, so tasks never outlive their parent.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "des/simulator.h"
+
+namespace ioc::des {
+
+class Process;
+
+namespace detail {
+
+struct ProcessPromise;
+using ProcessHandle = std::coroutine_handle<ProcessPromise>;
+
+struct ProcessPromise {
+  Simulator* sim = nullptr;
+  int refs = 0;
+  bool started = false;
+  bool finished = false;
+  std::exception_ptr error;
+  std::vector<std::coroutine_handle<>> joiners;
+
+  Process get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(ProcessHandle h) noexcept {
+      auto& p = h.promise();
+      p.finished = true;
+      if (p.sim != nullptr) {
+        for (auto j : p.joiners) p.sim->schedule_now(j);
+      }
+      p.joiners.clear();
+      // With no outstanding handles, fall through the final suspend point,
+      // which destroys the coroutine state.
+      return p.refs > 0;
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void return_void() {}
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Handle to a simulator-driven coroutine. Copyable (shared ownership of the
+/// completion state); awaitable (join).
+class Process {
+ public:
+  using promise_type = detail::ProcessPromise;
+
+  Process() = default;
+  explicit Process(detail::ProcessHandle h) : h_(h) {
+    if (h_) ++h_.promise().refs;
+  }
+  Process(const Process& o) : h_(o.h_) {
+    if (h_) ++h_.promise().refs;
+  }
+  Process(Process&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Process& operator=(Process o) noexcept {
+    std::swap(h_, o.h_);
+    return *this;
+  }
+  ~Process() { release(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return h_ && h_.promise().finished; }
+
+  /// Register with a simulator and schedule the first resumption at now().
+  void start(Simulator& sim) {
+    assert(h_ && !h_.promise().started && "process already started");
+    h_.promise().sim = &sim;
+    h_.promise().started = true;
+    sim.schedule_now(h_);
+  }
+
+  /// Re-raise the exception that terminated the process, if any.
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().error) std::rethrow_exception(h_.promise().error);
+  }
+  bool failed() const { return h_ && h_.promise().error != nullptr; }
+
+  struct JoinAwaiter {
+    detail::ProcessHandle h;
+    bool await_ready() const noexcept { return !h || h.promise().finished; }
+    void await_suspend(std::coroutine_handle<> j) const {
+      h.promise().joiners.push_back(j);
+    }
+    void await_resume() const {
+      if (h && h.promise().error) std::rethrow_exception(h.promise().error);
+    }
+  };
+  JoinAwaiter operator co_await() const { return JoinAwaiter{h_}; }
+
+ private:
+  void release() {
+    if (!h_) return;
+    auto& p = h_.promise();
+    --p.refs;
+    if (p.refs == 0 && (p.finished || !p.started)) h_.destroy();
+    h_ = {};
+  }
+
+  detail::ProcessHandle h_;
+};
+
+inline Process detail::ProcessPromise::get_return_object() {
+  return Process(ProcessHandle::from_promise(*this));
+}
+
+/// Start a process on `sim`; keep the returned handle to join it, or drop it
+/// to run detached.
+inline Process spawn(Simulator& sim, Process p) {
+  p.start(sim);
+  return p;
+}
+
+/// Awaitable that suspends the current coroutine for a virtual duration.
+/// Usage inside a process: `co_await delay(sim, 5 * kSecond);`
+struct DelayAwaiter {
+  Simulator* sim;
+  SimTime duration;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim->schedule_in(duration, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaiter delay(Simulator& sim, SimTime d) {
+  assert(d >= 0);
+  return DelayAwaiter{&sim, d};
+}
+
+namespace detail {
+
+template <class T>
+struct TaskPromiseStorage {
+  std::optional<T> value;
+  void return_value(T v) { value.emplace(std::move(v)); }
+  T take() { return std::move(*value); }
+};
+
+template <>
+struct TaskPromiseStorage<void> {
+  void return_void() {}
+  void take() {}
+};
+
+}  // namespace detail
+
+/// Lazily-started, value-returning coroutine. Must be co_awaited exactly
+/// once; completion resumes the awaiter via symmetric transfer (no simulator
+/// event), so calling a Task is as cheap as a function call plus whatever
+/// delays it awaits internally.
+template <class T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseStorage<T> {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        auto c = h.promise().continuation;
+        return c ? c : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  struct Awaiter {
+    std::coroutine_handle<promise_type> h;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) const {
+      h.promise().continuation = cont;
+      return h;  // start the child coroutine
+    }
+    T await_resume() const {
+      if (h.promise().error) std::rethrow_exception(h.promise().error);
+      return h.promise().take();
+    }
+  };
+  Awaiter operator co_await() const {
+    assert(h_ && "task already consumed or empty");
+    return Awaiter{h_};
+  }
+
+ private:
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace ioc::des

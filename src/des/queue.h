@@ -1,0 +1,189 @@
+// Awaitable FIFO channel between processes. Bounded or unbounded; closing a
+// queue lets pending puts fail and lets getters drain remaining items before
+// observing end-of-stream (std::nullopt). The DataTap transport and the
+// container service loops are built on this.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "des/simulator.h"
+
+namespace ioc::des {
+
+template <class T>
+class Queue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit Queue(Simulator& sim, std::size_t capacity = 0)
+      : sim_(&sim), capacity_(capacity) {}
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool bounded() const { return capacity_ > 0; }
+  bool closed() const { return closed_; }
+  bool full() const { return bounded() && items_.size() >= capacity_; }
+
+  /// Lifetime statistics, used for overflow detection and reporting.
+  std::size_t high_watermark() const { return high_watermark_; }
+  std::uint64_t total_put() const { return total_put_; }
+  std::uint64_t total_got() const { return total_got_; }
+
+  /// Non-blocking put; false if the queue is full or closed.
+  bool try_put(T v) {
+    if (closed_ || full()) return false;
+    push(std::move(v));
+    pump();
+    return true;
+  }
+
+  struct GetAwaiter {
+    Queue* q;
+    std::optional<T> slot;
+    bool ready_closed = false;
+
+    bool await_ready() {
+      if (!q->items_.empty()) {
+        slot.emplace(std::move(q->items_.front()));
+        q->items_.pop_front();
+        ++q->total_got_;
+        q->pump();  // space may admit a waiting putter
+        return true;
+      }
+      if (q->closed_) {
+        ready_closed = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      q->getters_.push_back({h, this});
+    }
+    std::optional<T> await_resume() {
+      if (slot.has_value()) {
+        return std::move(slot);
+      }
+      return std::nullopt;  // closed and drained
+    }
+  };
+
+  /// Await the next item; std::nullopt once the queue is closed and drained.
+  GetAwaiter get() { return GetAwaiter{this, std::nullopt, false}; }
+
+  /// Non-blocking get.
+  std::optional<T> try_get() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    ++total_got_;
+    pump();
+    return v;
+  }
+
+  struct PutAwaiter {
+    Queue* q;
+    T item;
+    bool accepted = false;
+    bool consumed = false;  // item moved into the queue
+
+    bool await_ready() {
+      if (q->closed_) return true;  // accepted stays false
+      if (!q->full()) {
+        q->push(std::move(item));
+        consumed = true;
+        accepted = true;
+        q->pump();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      q->putters_.push_back({h, this});
+    }
+    bool await_resume() { return accepted; }
+  };
+
+  /// Await space and enqueue; resolves false if the queue was closed first.
+  PutAwaiter put(T v) { return PutAwaiter{this, std::move(v), false, false}; }
+
+  /// Close the queue: pending and future puts fail; getters drain what is
+  /// buffered and then observe std::nullopt.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    for (auto& w : putters_) sim_->schedule_now(w.h);  // accepted == false
+    putters_.clear();
+    // Wake getters only if nothing is left to deliver; otherwise they will
+    // drain buffered items first via pump() as usual.
+    pump();
+    if (items_.empty()) {
+      for (auto& w : getters_) sim_->schedule_now(w.h);  // slot empty -> nullopt
+      getters_.clear();
+    }
+  }
+
+ private:
+  struct GetWaiter {
+    std::coroutine_handle<> h;
+    GetAwaiter* aw;
+  };
+  struct PutWaiter {
+    std::coroutine_handle<> h;
+    PutAwaiter* aw;
+  };
+
+  void push(T v) {
+    items_.push_back(std::move(v));
+    ++total_put_;
+    high_watermark_ = std::max(high_watermark_, items_.size());
+  }
+
+  /// Match buffered items with waiting getters and free space with waiting
+  /// putters until no more progress is possible.
+  void pump() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      while (!getters_.empty() && !items_.empty()) {
+        GetWaiter w = getters_.front();
+        getters_.pop_front();
+        w.aw->slot.emplace(std::move(items_.front()));
+        items_.pop_front();
+        ++total_got_;
+        sim_->schedule_now(w.h);
+        progress = true;
+      }
+      while (!putters_.empty() && !closed_ && !full()) {
+        PutWaiter w = putters_.front();
+        putters_.pop_front();
+        push(std::move(w.aw->item));
+        w.aw->consumed = true;
+        w.aw->accepted = true;
+        sim_->schedule_now(w.h);
+        progress = true;
+      }
+    }
+    if (closed_ && items_.empty() && !getters_.empty()) {
+      for (auto& w : getters_) sim_->schedule_now(w.h);
+      getters_.clear();
+    }
+  }
+
+  Simulator* sim_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<GetWaiter> getters_;
+  std::deque<PutWaiter> putters_;
+  bool closed_ = false;
+  std::size_t high_watermark_ = 0;
+  std::uint64_t total_put_ = 0;
+  std::uint64_t total_got_ = 0;
+};
+
+}  // namespace ioc::des

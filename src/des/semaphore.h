@@ -1,0 +1,61 @@
+// Counting semaphore over the virtual clock; models contended resources
+// such as a node's NIC (egress serialization) or a bounded worker pool.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "des/simulator.h"
+
+namespace ioc::des {
+
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::int64_t count)
+      : sim_(&sim), count_(count) {
+    assert(count >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::int64_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  struct Awaiter {
+    Semaphore* s;
+    bool await_ready() const noexcept {
+      if (s->count_ > 0) {
+        --s->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) const {
+      s->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Await one unit of the resource.
+  Awaiter acquire() { return Awaiter{this}; }
+
+  /// Return one unit; hands it directly to the oldest waiter if any.
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->schedule_now(h);  // waiter resumes holding the unit
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Simulator* sim_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace ioc::des

@@ -1,0 +1,76 @@
+#include "des/simulator.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "des/time.h"
+#include "util/log.h"
+
+namespace ioc::des {
+
+namespace {
+Simulator* g_log_sim = nullptr;
+std::string log_time() {
+  if (g_log_sim == nullptr) return "-";
+  return format_time(g_log_sim->now());
+}
+}  // namespace
+
+std::string format_time(SimTime t) {
+  char buf[48];
+  if (t >= kSecond || t <= -kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  } else if (t >= kMillisecond || t <= -kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms",
+                  static_cast<double>(t) / static_cast<double>(kMillisecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fus",
+                  static_cast<double>(t) / static_cast<double>(kMicrosecond));
+  }
+  return buf;
+}
+
+void Simulator::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Entry{t, next_seq_++, h, nullptr});
+}
+
+void Simulator::call_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Entry{t, next_seq_++, nullptr, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.t;
+  ++processed_;
+  if (e.h) {
+    e.h.resume();
+  } else {
+    e.fn();
+  }
+  return true;
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+void Simulator::attach_logger() {
+  g_log_sim = this;
+  util::set_log_time_source(&log_time);
+}
+
+}  // namespace ioc::des

@@ -1,0 +1,78 @@
+// The discrete-event engine. A Simulator owns a virtual clock and a
+// priority queue of pending events; events are either coroutine resumptions
+// (the Process machinery in process.h) or plain callbacks.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotone sequence number breaks ties), so a given program produces the
+// same trace on every run.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "des/time.h"
+
+namespace ioc::des {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule a coroutine resumption at absolute time `t` (>= now()).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+  /// Schedule a coroutine resumption after delay `d` (>= 0).
+  void schedule_in(SimTime d, std::coroutine_handle<> h) {
+    schedule_at(now_ + d, h);
+  }
+  /// Schedule a coroutine resumption at the current time, after all events
+  /// already queued for the current time.
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Schedule a plain callback at absolute time `t`.
+  void call_at(SimTime t, std::function<void()> fn);
+  void call_in(SimTime d, std::function<void()> fn) {
+    call_at(now_ + d, fn);
+  }
+
+  /// Run until the event queue is empty. Returns the final clock value.
+  SimTime run();
+  /// Run until the clock would pass `deadline`; events at exactly `deadline`
+  /// still execute. Returns the clock value when stopping.
+  SimTime run_until(SimTime deadline);
+  /// Execute one event. Returns false if the queue is empty.
+  bool step();
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Install this simulator as the source of timestamps for IOC_LOG lines.
+  void attach_logger();
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;       // exactly one of h / fn is active
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace ioc::des

@@ -1,0 +1,31 @@
+// Virtual time for the discrete-event simulator. Integer nanoseconds keep
+// event ordering exact and runs bit-reproducible (no floating-point drift).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ioc::des {
+
+/// Virtual simulation time / duration, in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Convert a duration in (possibly fractional) seconds to SimTime.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+/// Convert SimTime to seconds as a double (for reporting only).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Human-readable rendering, e.g. "12.345s" or "85.2ms".
+std::string format_time(SimTime t);
+
+}  // namespace ioc::des

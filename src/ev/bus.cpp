@@ -1,0 +1,108 @@
+#include "ev/bus.h"
+
+#include "util/log.h"
+
+namespace ioc::ev {
+
+const char* traffic_class_name(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kControl: return "control";
+    case TrafficClass::kMetadata: return "metadata";
+    case TrafficClass::kMonitoring: return "monitoring";
+    case TrafficClass::kData: return "data";
+  }
+  return "?";
+}
+
+Bus::Bus(net::Network& network) : network_(&network) {}
+
+des::Simulator& Bus::sim() const { return network_->cluster().sim(); }
+
+Endpoint& Bus::open(net::NodeId node, std::string name) {
+  EndpointId id = next_id_++;
+  auto ep = std::make_unique<Endpoint>(sim(), id, node, std::move(name));
+  Endpoint& ref = *ep;
+  endpoints_[id] = std::move(ep);
+  return ref;
+}
+
+void Bus::close(EndpointId id) {
+  auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) return;
+  it->second->mailbox().close();
+  endpoints_.erase(it);
+}
+
+Endpoint* Bus::find(EndpointId id) {
+  auto it = endpoints_.find(id);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+Endpoint* Bus::find_by_name(const std::string& name) {
+  for (auto& [id, ep] : endpoints_) {
+    if (ep->name() == name) return ep.get();
+  }
+  return nullptr;
+}
+
+des::Task<bool> Bus::post(EndpointId from, EndpointId to, Message m,
+                          TrafficClass cls) {
+  Endpoint* src = find(from);
+  Endpoint* dst = find(to);
+  if (src == nullptr || dst == nullptr) {
+    ++dropped_;
+    co_return false;
+  }
+  auto& st = stats_[static_cast<int>(cls)];
+  ++st.messages;
+  st.bytes += m.size_bytes;
+  m.from = from;
+  m.to = to;
+  const net::NodeId src_node = src->node();
+  const net::NodeId dst_node = dst->node();
+  co_await network_->transfer(src_node, dst_node, m.size_bytes);
+  // The destination may have closed while the message was in flight.
+  Endpoint* live = find(to);
+  if (live == nullptr || !live->mailbox().try_put(std::move(m))) {
+    ++dropped_;
+    co_return false;
+  }
+  co_return true;
+}
+
+des::Task<Message> Bus::request(EndpointId from, EndpointId to, Message m,
+                                TrafficClass cls) {
+  if (m.token == 0) m.token = fresh_token();
+  const std::uint64_t token = m.token;
+  bool sent = co_await post(from, to, std::move(m), cls);
+  if (!sent) {
+    Message err;
+    err.type = "ERROR/unreachable";
+    err.token = token;
+    co_return err;
+  }
+  Endpoint* self = find(from);
+  while (self != nullptr) {
+    auto reply = co_await self->mailbox().get();
+    if (!reply.has_value()) break;  // endpoint closed underneath us
+    if (reply->token == token) co_return std::move(*reply);
+    IOC_WARN << "bus: endpoint " << from
+             << " discarding out-of-band message " << reply->type
+             << " while awaiting token " << token;
+  }
+  Message err;
+  err.type = "ERROR/closed";
+  err.token = token;
+  co_return err;
+}
+
+const TrafficStats& Bus::stats(TrafficClass c) const {
+  return stats_[static_cast<int>(c)];
+}
+
+void Bus::reset_stats() {
+  for (auto& s : stats_) s = TrafficStats{};
+  dropped_ = 0;
+}
+
+}  // namespace ioc::ev

@@ -1,0 +1,101 @@
+// EVPath-substitute: named endpoints with mailboxes, message delivery over
+// the modeled network, and a request/reply helper for the rounds of control
+// messages the management protocols exchange (paper Fig. 3).
+//
+// The bus also keeps a ledger of message counts and bytes split by traffic
+// class, because the paper's Fig. 4 discussion distinguishes manager<->global
+// point-to-point messages (negligible) from intra-container metadata
+// exchanges (dominant).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/process.h"
+#include "des/queue.h"
+#include "ev/message.h"
+#include "net/network.h"
+
+namespace ioc::ev {
+
+/// Traffic classes for the accounting ledger.
+enum class TrafficClass {
+  kControl,    ///< manager-to-manager point-to-point control
+  kMetadata,   ///< endpoint/contact metadata exchanges inside a container
+  kMonitoring, ///< monitoring overlay samples
+  kData,       ///< bulk data notifications (DataTap metadata pushes)
+};
+const char* traffic_class_name(TrafficClass c);
+
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Endpoint {
+ public:
+  Endpoint(des::Simulator& sim, EndpointId id, net::NodeId node,
+           std::string name)
+      : id_(id), node_(node), name_(std::move(name)), mailbox_(sim) {}
+
+  EndpointId id() const { return id_; }
+  net::NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+  des::Queue<Message>& mailbox() { return mailbox_; }
+
+ private:
+  EndpointId id_;
+  net::NodeId node_;
+  std::string name_;
+  des::Queue<Message> mailbox_;
+};
+
+class Bus {
+ public:
+  explicit Bus(net::Network& network);
+
+  des::Simulator& sim() const;
+  net::Network& network() const { return *network_; }
+
+  /// Create an endpoint on a node. Names are for diagnostics/lookup and need
+  /// not be unique (replicas share a base name).
+  Endpoint& open(net::NodeId node, std::string name);
+  /// Drop an endpoint: closes its mailbox; late sends are counted and
+  /// dropped.
+  void close(EndpointId id);
+
+  Endpoint* find(EndpointId id);
+  /// First live endpoint with the given name, or nullptr.
+  Endpoint* find_by_name(const std::string& name);
+
+  /// Deliver a message: pays the network cost from the sender endpoint's
+  /// node to the receiver's, then enqueues into the receiver's mailbox.
+  /// Returns false if the destination vanished meanwhile.
+  des::Task<bool> post(EndpointId from, EndpointId to, Message m,
+                       TrafficClass cls = TrafficClass::kControl);
+
+  /// Send `m` to `to` and suspend until a reply carrying the same token
+  /// arrives in `from`'s mailbox. The caller owns the mailbox: no other
+  /// receiver may consume from it concurrently.
+  des::Task<Message> request(EndpointId from, EndpointId to, Message m,
+                             TrafficClass cls = TrafficClass::kControl);
+
+  std::uint64_t fresh_token() { return next_token_++; }
+
+  const TrafficStats& stats(TrafficClass c) const;
+  void reset_stats();
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  net::Network* network_;
+  std::map<EndpointId, std::unique_ptr<Endpoint>> endpoints_;
+  EndpointId next_id_ = 1;
+  std::uint64_t next_token_ = 1;
+  TrafficStats stats_[4];
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ioc::ev

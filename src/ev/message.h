@@ -1,0 +1,31 @@
+// Control/monitoring message type carried by the EVPath-like bus. Payloads
+// are passed by value through std::any (the simulation is single-process);
+// what matters to the models is the on-the-wire size, carried explicitly.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+#include "net/cluster.h"
+
+namespace ioc::ev {
+
+using EndpointId = std::uint32_t;
+inline constexpr EndpointId kInvalidEndpoint = static_cast<EndpointId>(-1);
+
+struct Message {
+  std::string type;                 ///< e.g. "INCREASE_REQ", "PAUSED"
+  EndpointId from = kInvalidEndpoint;
+  EndpointId to = kInvalidEndpoint;
+  std::uint64_t token = 0;          ///< correlation id for request/reply
+  std::uint64_t size_bytes = 256;   ///< control messages are small
+  std::any payload;
+
+  template <class T>
+  const T* as() const {
+    return std::any_cast<T>(&payload);
+  }
+};
+
+}  // namespace ioc::ev

@@ -1,0 +1,26 @@
+#include "md/atoms.h"
+
+#include <cassert>
+
+namespace ioc::md {
+
+void AtomData::remove_if(const std::vector<bool>& kill) {
+  assert(kill.size() == size());
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < size(); ++r) {
+    if (kill[r]) continue;
+    if (w != r) {
+      id[w] = id[r];
+      pos[w] = pos[r];
+      vel[w] = vel[r];
+      force[w] = force[r];
+    }
+    ++w;
+  }
+  id.resize(w);
+  pos.resize(w);
+  vel.resize(w);
+  force.resize(w);
+}
+
+}  // namespace ioc::md

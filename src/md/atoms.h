@@ -1,0 +1,94 @@
+// Core particle data structures for the mini-LAMMPS substrate: 3-vectors,
+// periodic simulation box, and the per-atom arrays the analytics kernels
+// consume.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ioc::md {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Orthogonal periodic box [lo, hi) in each dimension.
+struct Box {
+  Vec3 lo{0, 0, 0};
+  Vec3 hi{0, 0, 0};
+
+  Vec3 extent() const { return hi - lo; }
+
+  /// Minimum-image displacement a - b.
+  Vec3 min_image(const Vec3& a, const Vec3& b) const {
+    Vec3 d = a - b;
+    const Vec3 len = extent();
+    d.x -= len.x * std::nearbyint(d.x / len.x);
+    d.y -= len.y * std::nearbyint(d.y / len.y);
+    d.z -= len.z * std::nearbyint(d.z / len.z);
+    return d;
+  }
+
+  /// Wrap a position back into the box.
+  Vec3 wrap(Vec3 p) const {
+    const Vec3 len = extent();
+    p.x -= len.x * std::floor((p.x - lo.x) / len.x);
+    p.y -= len.y * std::floor((p.y - lo.y) / len.y);
+    p.z -= len.z * std::floor((p.z - lo.z) / len.z);
+    return p;
+  }
+
+  double volume() const {
+    const Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+};
+
+struct AtomData {
+  Box box;
+  std::vector<std::int64_t> id;
+  std::vector<Vec3> pos;
+  std::vector<Vec3> vel;
+  std::vector<Vec3> force;
+
+  std::size_t size() const { return pos.size(); }
+
+  void reserve(std::size_t n) {
+    id.reserve(n);
+    pos.reserve(n);
+    vel.reserve(n);
+    force.reserve(n);
+  }
+
+  void add(std::int64_t atom_id, const Vec3& p) {
+    id.push_back(atom_id);
+    pos.push_back(p);
+    vel.push_back({});
+    force.push_back({});
+  }
+
+  /// Remove atoms whose index is flagged; keeps arrays consistent.
+  void remove_if(const std::vector<bool>& kill);
+};
+
+}  // namespace ioc::md

@@ -1,0 +1,119 @@
+#include "md/cells.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ioc::md {
+
+CellList::CellList(const Box& box, double cutoff)
+    : box_(box), cutoff_(cutoff) {
+  const Vec3 len = box.extent();
+  nx_ = static_cast<std::size_t>(std::floor(len.x / cutoff));
+  ny_ = static_cast<std::size_t>(std::floor(len.y / cutoff));
+  nz_ = static_cast<std::size_t>(std::floor(len.z / cutoff));
+  // A 3x3x3 stencil needs at least 3 cells per periodic dimension.
+  use_cells_ = nx_ >= 3 && ny_ >= 3 && nz_ >= 3;
+  if (!use_cells_) {
+    nx_ = ny_ = nz_ = 1;
+  }
+  cells_.resize(nx_ * ny_ * nz_);
+}
+
+std::size_t CellList::cell_of(const Vec3& p) const {
+  const Vec3 q = box_.wrap(p);
+  const Vec3 len = box_.extent();
+  auto idx = [](double v, double lo, double len, std::size_t n) {
+    auto i = static_cast<std::int64_t>((v - lo) / len * static_cast<double>(n));
+    if (i < 0) i = 0;
+    if (i >= static_cast<std::int64_t>(n)) i = static_cast<std::int64_t>(n) - 1;
+    return static_cast<std::size_t>(i);
+  };
+  const std::size_t ix = idx(q.x, box_.lo.x, len.x, nx_);
+  const std::size_t iy = idx(q.y, box_.lo.y, len.y, ny_);
+  const std::size_t iz = idx(q.z, box_.lo.z, len.z, nz_);
+  return (ix * ny_ + iy) * nz_ + iz;
+}
+
+void CellList::build(const std::vector<Vec3>& pos) {
+  for (auto& c : cells_) c.clear();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    cells_[cell_of(pos[i])].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void CellList::for_each_pair(
+    const std::vector<Vec3>& pos,
+    const std::function<void(std::size_t, std::size_t, double)>& fn) const {
+  const double rc2 = cutoff_ * cutoff_;
+  if (!use_cells_) {
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      for (std::size_t j = i + 1; j < pos.size(); ++j) {
+        const double r2 = box_.min_image(pos[i], pos[j]).norm2();
+        if (r2 <= rc2) fn(i, j, r2);
+      }
+    }
+    return;
+  }
+  const auto nx = static_cast<std::int64_t>(nx_);
+  const auto ny = static_cast<std::int64_t>(ny_);
+  const auto nz = static_cast<std::int64_t>(nz_);
+  for (std::int64_t cx = 0; cx < nx; ++cx) {
+    for (std::int64_t cy = 0; cy < ny; ++cy) {
+      for (std::int64_t cz = 0; cz < nz; ++cz) {
+        const std::size_t c =
+            (static_cast<std::size_t>(cx) * ny_ + static_cast<std::size_t>(cy)) *
+                nz_ +
+            static_cast<std::size_t>(cz);
+        const auto& cell = cells_[c];
+        // Pairs within the cell.
+        for (std::size_t a = 0; a < cell.size(); ++a) {
+          for (std::size_t b = a + 1; b < cell.size(); ++b) {
+            const double r2 =
+                box_.min_image(pos[cell[a]], pos[cell[b]]).norm2();
+            if (r2 <= rc2) fn(cell[a], cell[b], r2);
+          }
+        }
+        // Pairs with half of the neighboring cells (each cell pair visited
+        // once).
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+          for (std::int64_t dy = -1; dy <= 1; ++dy) {
+            for (std::int64_t dz = -1; dz <= 1; ++dz) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              // Keep only the lexicographically positive half-stencil.
+              if (dx < 0 || (dx == 0 && dy < 0) ||
+                  (dx == 0 && dy == 0 && dz < 0)) {
+                continue;
+              }
+              const std::size_t ox =
+                  static_cast<std::size_t>((cx + dx + nx) % nx);
+              const std::size_t oy =
+                  static_cast<std::size_t>((cy + dy + ny) % ny);
+              const std::size_t oz =
+                  static_cast<std::size_t>((cz + dz + nz) % nz);
+              const std::size_t o = (ox * ny_ + oy) * nz_ + oz;
+              const auto& other = cells_[o];
+              for (std::uint32_t ia : cell) {
+                for (std::uint32_t jb : other) {
+                  const double r2 = box_.min_image(pos[ia], pos[jb]).norm2();
+                  if (r2 <= rc2) fn(ia, jb, r2);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> CellList::neighbor_lists(
+    const std::vector<Vec3>& pos) const {
+  std::vector<std::vector<std::uint32_t>> nl(pos.size());
+  for_each_pair(pos, [&](std::size_t i, std::size_t j, double) {
+    nl[i].push_back(static_cast<std::uint32_t>(j));
+    nl[j].push_back(static_cast<std::uint32_t>(i));
+  });
+  return nl;
+}
+
+}  // namespace ioc::md

@@ -1,0 +1,45 @@
+// Linked-cell neighbor search: O(n) pair enumeration for short-range
+// potentials and for the analytics kernels' cutoff queries. Falls back to
+// the O(n^2) double loop when the box is too small for a 3x3x3 cell stencil
+// (which would otherwise double-count periodic images).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "md/atoms.h"
+
+namespace ioc::md {
+
+class CellList {
+ public:
+  CellList(const Box& box, double cutoff);
+
+  void build(const std::vector<Vec3>& pos);
+
+  /// Visit each unordered pair (i < j) with |r_ij| <= cutoff exactly once.
+  /// The callback receives (i, j, r2) with r2 the squared minimum-image
+  /// distance.
+  void for_each_pair(
+      const std::vector<Vec3>& pos,
+      const std::function<void(std::size_t, std::size_t, double)>& fn) const;
+
+  /// Per-atom neighbor lists within the cutoff (both directions present).
+  std::vector<std::vector<std::uint32_t>> neighbor_lists(
+      const std::vector<Vec3>& pos) const;
+
+  bool using_cells() const { return use_cells_; }
+  double cutoff() const { return cutoff_; }
+
+ private:
+  std::size_t cell_of(const Vec3& p) const;
+
+  Box box_;
+  double cutoff_;
+  bool use_cells_ = false;
+  std::size_t nx_ = 1, ny_ = 1, nz_ = 1;
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace ioc::md

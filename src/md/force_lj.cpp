@@ -1,0 +1,45 @@
+#include "md/force_lj.h"
+
+namespace ioc::md {
+
+double LjForce::pair_energy(double r2) const {
+  const double rc2 = p_.cutoff * p_.cutoff * p_.sigma * p_.sigma;
+  if (r2 > rc2) return 0.0;
+  const double s2 = p_.sigma * p_.sigma / r2;
+  const double s6 = s2 * s2 * s2;
+  return 4.0 * p_.epsilon * (s6 * s6 - s6);
+}
+
+ForceResult LjForce::compute(AtomData& atoms) const {
+  ForceResult res;
+  for (auto& f : atoms.force) f = Vec3{};
+  CellList cl(atoms.box, p_.cutoff * p_.sigma);
+  cl.build(atoms.pos);
+  cl.for_each_pair(atoms.pos, [&](std::size_t i, std::size_t j, double r2) {
+    const double s2 = p_.sigma * p_.sigma / r2;
+    const double s6 = s2 * s2 * s2;
+    // dU/dr / r = -24 eps (2 s12 - s6) / r^2
+    const double fmag_over_r =
+        24.0 * p_.epsilon * (2.0 * s6 * s6 - s6) / r2;
+    const Vec3 rij = atoms.box.min_image(atoms.pos[i], atoms.pos[j]);
+    const Vec3 f = rij * fmag_over_r;
+    atoms.force[i] += f;
+    atoms.force[j] -= f;
+    res.potential_energy += 4.0 * p_.epsilon * (s6 * s6 - s6);
+    res.virial += rij.dot(f);
+  });
+  return res;
+}
+
+double kinetic_energy(const AtomData& atoms) {
+  double ke = 0;
+  for (const auto& v : atoms.vel) ke += 0.5 * v.norm2();
+  return ke;
+}
+
+double temperature(const AtomData& atoms) {
+  if (atoms.size() == 0) return 0;
+  return 2.0 * kinetic_energy(atoms) / (3.0 * static_cast<double>(atoms.size()));
+}
+
+}  // namespace ioc::md

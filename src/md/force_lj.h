@@ -1,0 +1,44 @@
+// Truncated Lennard-Jones 12-6 potential in reduced units (epsilon = sigma
+// = 1), the standard mini-MD interaction and the one LAMMPS uses for the
+// class of solids the paper's crack study models.
+#pragma once
+
+#include "md/atoms.h"
+#include "md/cells.h"
+
+namespace ioc::md {
+
+struct LjParams {
+  double epsilon = 1.0;
+  double sigma = 1.0;
+  double cutoff = 2.5;  ///< in units of sigma
+};
+
+struct ForceResult {
+  double potential_energy = 0;
+  double virial = 0;  ///< sum of r.f over pairs (pressure diagnostics)
+};
+
+class LjForce {
+ public:
+  explicit LjForce(LjParams p = LjParams{}) : p_(p) {}
+
+  const LjParams& params() const { return p_; }
+
+  /// Recompute forces into atoms.force (overwritten); returns energies.
+  ForceResult compute(AtomData& atoms) const;
+
+  /// Pair energy at squared distance r2 (unshifted, truncated).
+  double pair_energy(double r2) const;
+
+ private:
+  LjParams p_;
+};
+
+/// Kinetic energy of the system (mass = 1).
+double kinetic_energy(const AtomData& atoms);
+
+/// Instantaneous temperature via equipartition: T = 2 KE / (3 N).
+double temperature(const AtomData& atoms);
+
+}  // namespace ioc::md

@@ -1,0 +1,43 @@
+#include "md/lattice.h"
+
+namespace ioc::md {
+
+namespace {
+
+AtomData make_lattice(std::size_t nx, std::size_t ny, std::size_t nz,
+                      double a, const Vec3* basis, std::size_t basis_n) {
+  AtomData atoms;
+  atoms.box.lo = {0, 0, 0};
+  atoms.box.hi = {static_cast<double>(nx) * a, static_cast<double>(ny) * a,
+                  static_cast<double>(nz) * a};
+  atoms.reserve(nx * ny * nz * basis_n);
+  std::int64_t next_id = 0;
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t k = 0; k < nz; ++k) {
+        const Vec3 origin{static_cast<double>(i) * a,
+                          static_cast<double>(j) * a,
+                          static_cast<double>(k) * a};
+        for (std::size_t b = 0; b < basis_n; ++b) {
+          atoms.add(next_id++, origin + basis[b] * a);
+        }
+      }
+    }
+  }
+  return atoms;
+}
+
+}  // namespace
+
+AtomData make_fcc(std::size_t nx, std::size_t ny, std::size_t nz, double a) {
+  static const Vec3 basis[4] = {
+      {0.0, 0.0, 0.0}, {0.0, 0.5, 0.5}, {0.5, 0.0, 0.5}, {0.5, 0.5, 0.0}};
+  return make_lattice(nx, ny, nz, a, basis, 4);
+}
+
+AtomData make_sc(std::size_t nx, std::size_t ny, std::size_t nz, double a) {
+  static const Vec3 basis[1] = {{0.0, 0.0, 0.0}};
+  return make_lattice(nx, ny, nz, a, basis, 1);
+}
+
+}  // namespace ioc::md

@@ -1,0 +1,23 @@
+// Crystal lattice generators for initial conditions and for the analytics
+// tests (CSym == 0 and CNA == FCC on a perfect FCC crystal).
+#pragma once
+
+#include <cstddef>
+
+#include "md/atoms.h"
+
+namespace ioc::md {
+
+/// Build an FCC crystal of nx*ny*nz unit cells with lattice constant `a`
+/// (4 atoms per cell) in a periodic box that tiles perfectly.
+AtomData make_fcc(std::size_t nx, std::size_t ny, std::size_t nz, double a);
+
+/// Build a simple-cubic crystal (1 atom per cell); structurally "other"
+/// under CNA with LJ-style cutoffs — a useful negative control.
+AtomData make_sc(std::size_t nx, std::size_t ny, std::size_t nz, double a);
+
+/// Equilibrium FCC lattice constant for the truncated LJ potential (the
+/// value commonly used for LJ solids near zero temperature).
+inline constexpr double kLjFccLatticeConstant = 1.5496;
+
+}  // namespace ioc::md

@@ -1,0 +1,67 @@
+// The mini-LAMMPS engine: velocity-Verlet integration of an LJ solid with
+// optional thermostatting, uniaxial strain ramping (the loading that drives
+// crack growth), notch carving (crack seeding), and checkpoint support.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/atoms.h"
+#include "md/force_lj.h"
+#include "util/rng.h"
+
+namespace ioc::md {
+
+struct MdConfig {
+  double dt = 0.004;              ///< LJ time units
+  double target_temperature = 0.05;
+  int thermostat_every = 20;      ///< velocity-rescale cadence; 0 disables
+  double strain_rate = 0.0;       ///< fractional x-elongation per time unit
+  LjParams lj;
+};
+
+class MdSim {
+ public:
+  MdSim(AtomData atoms, MdConfig cfg = MdConfig{}, std::uint64_t seed = 12345);
+
+  /// Draw Maxwell-Boltzmann velocities at the target temperature (zero net
+  /// momentum) and compute initial forces.
+  void initialize_velocities();
+
+  /// Advance `n` velocity-Verlet steps (applying strain/thermostat per cfg).
+  void run(int n);
+
+  std::uint64_t steps_done() const { return steps_; }
+  const AtomData& atoms() const { return atoms_; }
+  AtomData& atoms() { return atoms_; }
+  const MdConfig& config() const { return cfg_; }
+
+  double potential_energy() const { return last_force_.potential_energy; }
+  double total_energy() const {
+    return last_force_.potential_energy + kinetic_energy(atoms_);
+  }
+  double current_temperature() const { return temperature(atoms_); }
+  /// Accumulated fractional elongation applied so far.
+  double applied_strain() const { return applied_strain_; }
+
+  /// Remove atoms inside a wedge notch: x in [x0, x1], |y - y_center| <
+  /// half_width * (x1 - x) / (x1 - x0), all z. Returns atoms removed.
+  std::size_t carve_notch(double x0, double x1, double half_width);
+
+  /// Serialize the full state (checkpoint). Byte-exact restore supported.
+  std::vector<char> checkpoint() const;
+  static MdSim restore(const std::vector<char>& data, MdConfig cfg);
+
+ private:
+  void apply_strain(double factor);
+
+  AtomData atoms_;
+  MdConfig cfg_;
+  LjForce force_;
+  ForceResult last_force_;
+  util::Rng rng_;
+  std::uint64_t steps_ = 0;
+  double applied_strain_ = 0;
+};
+
+}  // namespace ioc::md

@@ -1,0 +1,36 @@
+#include "md/workload.h"
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace ioc::md {
+
+const WorkloadPoint WorkloadModel::kPaperRows[3] = {
+    {256, 8'819'989, static_cast<std::uint64_t>(67.0 * util::MiB)},
+    {512, 17'639'979, static_cast<std::uint64_t>(134.6 * util::MiB)},
+    {1024, 35'279'958, static_cast<std::uint64_t>(269.2 * util::MiB)},
+};
+
+std::uint64_t WorkloadModel::atoms_for_nodes(std::uint64_t nodes) {
+  for (const auto& row : kPaperRows) {
+    if (row.nodes == nodes) return row.atoms;
+  }
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(nodes) * kAtomsPerNode));
+}
+
+std::uint64_t WorkloadModel::bytes_for_atoms(std::uint64_t atoms) {
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(atoms) * kBytesPerAtom));
+}
+
+WorkloadPoint WorkloadModel::point(std::uint64_t nodes) {
+  WorkloadPoint p;
+  p.nodes = nodes;
+  p.atoms = atoms_for_nodes(nodes);
+  p.bytes_per_step = bytes_for_atoms(p.atoms);
+  return p;
+}
+
+}  // namespace ioc::md

@@ -1,0 +1,85 @@
+#include "mon/hub.h"
+
+namespace ioc::mon {
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kLatency: return "latency";
+    case MetricKind::kQueueDepth: return "queue-depth";
+    case MetricKind::kThroughput: return "throughput";
+    case MetricKind::kEndToEnd: return "end-to-end";
+  }
+  return "?";
+}
+
+MonitoringHub::MonitoringHub(std::size_t window, bool keep_history)
+    : window_(window), keep_history_(keep_history) {
+  entry_ = stones_.add_split();
+  auto record = stones_.add_terminal([this](const MetricSample& s) {
+    auto [it, inserted] = containers_.try_emplace(s.source, window_);
+    it->second.last[s.kind] = s.value;
+    if (s.kind == MetricKind::kLatency) it->second.latency.add(s.value);
+  });
+  auto keep = stones_.add_terminal([this](const MetricSample& s) {
+    if (keep_history_) history_.push_back(s);
+  });
+  stones_.link(entry_, record);
+  stones_.link(entry_, keep);
+}
+
+void MonitoringHub::ingest(const MetricSample& s) {
+  ++samples_seen_;
+  stones_.submit(entry_, s);
+}
+
+std::optional<double> MonitoringHub::avg_latency(
+    const std::string& container) const {
+  auto it = containers_.find(container);
+  if (it == containers_.end() || it->second.latency.count() == 0) {
+    return std::nullopt;
+  }
+  return it->second.latency.mean();
+}
+
+double MonitoringHub::last_value(const std::string& container,
+                                 MetricKind k) const {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return 0.0;
+  auto lit = it->second.last.find(k);
+  return lit == it->second.last.end() ? 0.0 : lit->second;
+}
+
+std::optional<std::string> MonitoringHub::bottleneck(
+    const std::vector<std::string>& candidates) const {
+  std::optional<std::string> best;
+  double best_latency = -1;
+  auto consider = [&](const std::string& name) {
+    auto avg = avg_latency(name);
+    if (avg.has_value() && *avg > best_latency) {
+      best_latency = *avg;
+      best = name;
+    }
+  };
+  if (candidates.empty()) {
+    for (const auto& [name, _] : containers_) consider(name);
+  } else {
+    for (const auto& name : candidates) consider(name);
+  }
+  return best;
+}
+
+void MonitoringHub::reset_container(const std::string& container) {
+  auto it = containers_.find(container);
+  if (it != containers_.end()) it->second.latency.reset();
+}
+
+std::vector<MetricSample> MonitoringHub::history_for(const std::string& source,
+                                                     MetricKind k) const {
+  std::vector<MetricSample> out;
+  for (const auto& s : history_) {
+    if (s.source == source && s.kind == k) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ioc::mon

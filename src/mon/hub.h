@@ -1,0 +1,66 @@
+// The global manager's aggregate view of the pipeline: ingests metric
+// samples (routed through an EVPath-style stone graph), keeps windowed
+// per-container statistics, and answers the bottleneck question — the
+// container with the longest average latency, exactly as Section III-E
+// defines it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ev/stone.h"
+#include "mon/metric.h"
+#include "util/stats.h"
+
+namespace ioc::mon {
+
+class MonitoringHub {
+ public:
+  /// `window`: number of recent latency samples averaged per container.
+  explicit MonitoringHub(std::size_t window = 8, bool keep_history = true);
+
+  /// Feed one sample (typically from the GM's monitoring endpoint process).
+  void ingest(const MetricSample& s);
+
+  /// Windowed average latency for a container; nullopt if never seen.
+  std::optional<double> avg_latency(const std::string& container) const;
+  double last_value(const std::string& container, MetricKind k) const;
+  std::uint64_t samples_seen() const { return samples_seen_; }
+
+  /// The container with the highest windowed average latency, restricted to
+  /// `candidates` (empty = all known).
+  std::optional<std::string> bottleneck(
+      const std::vector<std::string>& candidates = {}) const;
+
+  /// Clear a container's window (after a management action changed it).
+  void reset_container(const std::string& container);
+
+  /// Full sample history (benches plot it); empty if keep_history is false.
+  const std::vector<MetricSample>& history() const { return history_; }
+  std::vector<MetricSample> history_for(const std::string& source,
+                                        MetricKind k) const;
+
+ private:
+  struct PerContainer {
+    util::WindowedMean latency;
+    std::map<MetricKind, double> last;
+    explicit PerContainer(std::size_t window) : latency(window) {}
+  };
+
+  std::size_t window_;
+  bool keep_history_;
+  std::map<std::string, PerContainer> containers_;
+  std::vector<MetricSample> history_;
+  std::uint64_t samples_seen_ = 0;
+
+  // Stones: a filter keeps latency samples flowing into the windows, a
+  // split keeps the raw history; structured this way so custom overlays can
+  // be grafted on without touching the hub.
+  ev::StoneGraph<MetricSample> stones_;
+  ev::StoneId entry_ = 0;
+};
+
+}  // namespace ioc::mon

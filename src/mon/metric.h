@@ -1,0 +1,29 @@
+// Monitoring data model: samples captured at container boundaries and
+// shipped over the EVPath-like overlay to whoever manages them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "des/time.h"
+
+namespace ioc::mon {
+
+enum class MetricKind : std::uint8_t {
+  kLatency,      ///< seconds from input-queue entry to component exit
+  kQueueDepth,   ///< undelivered steps waiting in the input stream
+  kThroughput,   ///< steps/second completed
+  kEndToEnd,     ///< seconds from simulation emission to pipeline exit
+};
+
+const char* metric_kind_name(MetricKind k);
+
+struct MetricSample {
+  std::string source;      ///< container name (or "pipeline" for e2e)
+  MetricKind kind = MetricKind::kLatency;
+  std::uint64_t step = 0;
+  double value = 0;
+  des::SimTime at = 0;
+};
+
+}  // namespace ioc::mon

@@ -1,0 +1,14 @@
+#include "net/cluster.h"
+
+namespace ioc::net {
+
+Cluster::Cluster(des::Simulator& sim, std::size_t node_count, NodeSpec spec)
+    : sim_(&sim), spec_(spec) {
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    nodes_.push_back(Node{std::make_unique<des::Semaphore>(sim, 1),
+                          std::make_unique<des::Semaphore>(sim, 1)});
+  }
+}
+
+}  // namespace ioc::net

@@ -1,0 +1,50 @@
+// Modeled HPC machine: a set of nodes with cores/memory and one NIC each.
+// This is the substitute for the paper's Cray XT4 (Franklin) testbed — the
+// container runtime only observes nodes, cores, and transfer/queueing
+// delays, all of which this model provides.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/semaphore.h"
+#include "des/simulator.h"
+#include "util/units.h"
+
+namespace ioc::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct NodeSpec {
+  std::uint32_t cores = 4;                       // Franklin: quad-core nodes
+  std::uint64_t memory_bytes = 8 * util::GiB;    // 78 TB / 9572 nodes ~ 8 GB
+};
+
+class Cluster {
+ public:
+  Cluster(des::Simulator& sim, std::size_t node_count,
+          NodeSpec spec = NodeSpec{});
+
+  des::Simulator& sim() const { return *sim_; }
+  std::size_t size() const { return nodes_.size(); }
+  const NodeSpec& spec() const { return spec_; }
+
+  /// NIC send side: one transfer occupies the sender NIC at a time.
+  des::Semaphore& egress(NodeId n) { return *nodes_.at(n).egress; }
+  /// NIC receive side: one transfer lands on a receiver NIC at a time.
+  des::Semaphore& ingress(NodeId n) { return *nodes_.at(n).ingress; }
+
+ private:
+  struct Node {
+    std::unique_ptr<des::Semaphore> egress;
+    std::unique_ptr<des::Semaphore> ingress;
+  };
+
+  des::Simulator* sim_;
+  NodeSpec spec_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ioc::net

@@ -1,0 +1,43 @@
+#include "net/network.h"
+
+namespace ioc::net {
+
+Network::Network(Cluster& cluster, NetworkConfig cfg)
+    : cluster_(&cluster), cfg_(cfg) {}
+
+des::SimTime Network::wire_time(std::uint64_t bytes) const {
+  const double secs = static_cast<double>(bytes) / cfg_.bandwidth_bps;
+  return cfg_.message_overhead + des::from_seconds(secs);
+}
+
+des::Task<void> Network::transfer(NodeId src, NodeId dst,
+                                  std::uint64_t bytes) {
+  auto& sim = cluster_->sim();
+  ++transfer_count_;
+  bytes_moved_ += bytes;
+  if (src == dst) {
+    co_await des::delay(sim, cfg_.message_overhead);
+    co_return;
+  }
+  const des::SimTime requested = sim.now();
+  co_await cluster_->egress(src).acquire();
+  co_await cluster_->ingress(dst).acquire();
+  contention_.add(des::to_seconds(sim.now() - requested));
+  co_await des::delay(sim, wire_time(bytes));
+  cluster_->ingress(dst).release();
+  cluster_->egress(src).release();
+  des::SimTime wire_latency = cfg_.latency;
+  if (cfg_.per_hop_latency > 0) {
+    const auto hops = src > dst ? src - dst : dst - src;
+    wire_latency += cfg_.per_hop_latency * static_cast<des::SimTime>(hops);
+  }
+  co_await des::delay(sim, wire_latency);
+}
+
+void Network::reset_stats() {
+  transfer_count_ = 0;
+  bytes_moved_ = 0;
+  contention_.reset();
+}
+
+}  // namespace ioc::net

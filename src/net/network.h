@@ -1,0 +1,59 @@
+// Interconnect model: wire latency plus NIC-limited bandwidth with
+// sender/receiver serialization. Contention therefore arises exactly where
+// it does on the paper's RDMA fabrics — at the endpoints — which is what the
+// DataStager pull scheduling is designed to relieve.
+#pragma once
+
+#include <cstdint>
+
+#include "des/process.h"
+#include "des/simulator.h"
+#include "des/time.h"
+#include "net/cluster.h"
+#include "util/stats.h"
+
+namespace ioc::net {
+
+struct NetworkConfig {
+  des::SimTime latency = 5 * des::kMicrosecond;     // Portals-class wire time
+  double bandwidth_bps = 2.0e9;                     // bytes/s per NIC
+  des::SimTime message_overhead = 2 * des::kMicrosecond;  // per-message setup
+  /// Topology term: extra latency per hop of node-id distance. Zero keeps
+  /// the flat network of the core experiments; the placement ablation sets
+  /// it to study locality-aware container placement (paper future work).
+  des::SimTime per_hop_latency = 0;
+};
+
+class Network {
+ public:
+  Network(Cluster& cluster, NetworkConfig cfg = NetworkConfig{});
+
+  /// Move `bytes` from src to dst; completes (resumes the awaiter) when the
+  /// data has fully arrived. Occupies both NICs for the serialization time.
+  /// Transfers between co-located endpoints (src == dst) cost only the
+  /// message overhead.
+  des::Task<void> transfer(NodeId src, NodeId dst, std::uint64_t bytes);
+
+  /// Pure serialization time for a payload (no queueing).
+  des::SimTime wire_time(std::uint64_t bytes) const;
+
+  const NetworkConfig& config() const { return cfg_; }
+  Cluster& cluster() const { return *cluster_; }
+
+  // --- statistics -----------------------------------------------------
+  std::uint64_t transfer_count() const { return transfer_count_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  /// Time transfers spent waiting for a NIC, in seconds; the contention the
+  /// pull scheduler is meant to suppress.
+  const util::OnlineStats& contention_wait() const { return contention_; }
+  void reset_stats();
+
+ private:
+  Cluster* cluster_;
+  NetworkConfig cfg_;
+  std::uint64_t transfer_count_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+  util::OnlineStats contention_;
+};
+
+}  // namespace ioc::net

@@ -1,0 +1,53 @@
+#include "net/scheduler.h"
+
+#include <cassert>
+
+namespace ioc::net {
+
+BatchScheduler::BatchScheduler(Cluster& cluster, util::Rng rng,
+                               AprunModel aprun)
+    : cluster_(&cluster), rng_(rng), aprun_(aprun),
+      in_use_(cluster.size(), false) {
+  for (NodeId n = 0; n < cluster.size(); ++n) free_.push_back(n);
+}
+
+Allocation BatchScheduler::allocate(std::size_t n) {
+  if (free_.size() < n) {
+    throw AllocationError("batch scheduler: requested " + std::to_string(n) +
+                          " nodes, only " + std::to_string(free_.size()) +
+                          " free");
+  }
+  Allocation a;
+  a.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId id = free_.front();
+    free_.pop_front();
+    in_use_[id] = true;
+    a.nodes.push_back(id);
+  }
+  return a;
+}
+
+void BatchScheduler::release(const Allocation& a) {
+  for (NodeId n : a.nodes) release(n);
+}
+
+void BatchScheduler::release(NodeId n) {
+  assert(in_use_.at(n) && "releasing a node that is not allocated");
+  in_use_[n] = false;
+  free_.push_back(n);
+}
+
+des::SimTime BatchScheduler::sample_aprun_cost() {
+  const double span = des::to_seconds(aprun_.max_cost - aprun_.min_cost);
+  return aprun_.min_cost + des::from_seconds(rng_.uniform(0.0, span));
+}
+
+des::Task<void> BatchScheduler::aprun_launch() {
+  const des::SimTime cost = sample_aprun_cost();
+  ++launches_;
+  total_aprun_ += cost;
+  co_await des::delay(cluster_->sim(), cost);
+}
+
+}  // namespace ioc::net

@@ -1,0 +1,71 @@
+// Batch-scheduler model. On the paper's Cray platforms, users receive a
+// fixed node allocation for the whole job and partition it themselves into
+// simulation and staging nodes; launching an executable onto nodes goes
+// through 'aprun', whose cost the authors observed at 3-27 s and which
+// cannot coalesce separately-launched executables onto one node.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "des/process.h"
+#include "des/time.h"
+#include "net/cluster.h"
+#include "util/rng.h"
+
+namespace ioc::net {
+
+struct Allocation {
+  std::vector<NodeId> nodes;
+  bool empty() const { return nodes.empty(); }
+  std::size_t size() const { return nodes.size(); }
+};
+
+class AllocationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct AprunModel {
+  des::SimTime min_cost = 3 * des::kSecond;   // paper: witnessed 3 s ...
+  des::SimTime max_cost = 27 * des::kSecond;  // ... to 27 s
+};
+
+class BatchScheduler {
+ public:
+  BatchScheduler(Cluster& cluster, util::Rng rng = util::Rng(1),
+                 AprunModel aprun = AprunModel{});
+
+  /// Claim `n` free nodes. Throws AllocationError when fewer are free.
+  Allocation allocate(std::size_t n);
+  /// Return nodes to the free pool.
+  void release(const Allocation& a);
+  void release(NodeId n);
+
+  std::size_t free_nodes() const { return free_.size(); }
+  std::size_t nodes_in_use() const { return cluster_->size() - free_.size(); }
+
+  /// Sample one aprun launch cost (uniform over the observed range).
+  des::SimTime sample_aprun_cost();
+
+  /// Model launching an executable onto already-allocated nodes: pays the
+  /// aprun cost. The containers' increase protocol factors this cost out of
+  /// its reported overhead exactly as the paper does, but it still elapses.
+  des::Task<void> aprun_launch();
+
+  std::uint64_t aprun_launches() const { return launches_; }
+  des::SimTime total_aprun_cost() const { return total_aprun_; }
+
+ private:
+  Cluster* cluster_;
+  util::Rng rng_;
+  AprunModel aprun_;
+  std::deque<NodeId> free_;
+  std::vector<bool> in_use_;
+  std::uint64_t launches_ = 0;
+  des::SimTime total_aprun_ = 0;
+};
+
+}  // namespace ioc::net

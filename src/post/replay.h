@@ -1,0 +1,61 @@
+// Offline post-processing of provenance-labeled data. When the container
+// runtime takes analytics offline, it guarantees "the stored data will be
+// labeled with its data processing provenance... to keep track of which
+// analytic operations have been performed and which operations need to be
+// performed in the future." This module closes that loop: it scans the
+// (modeled) filesystem for objects owing analytics, and replays the owed
+// components as an offline batch job, relabeling the data when done.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "des/process.h"
+#include "sio/method.h"
+#include "sp/costmodel.h"
+
+namespace ioc::post {
+
+struct PendingWork {
+  std::size_t object_index = 0;
+  std::string group;
+  std::uint64_t step = 0;
+  std::uint64_t bytes = 0;
+  std::vector<std::string> pending;  ///< component names still owed
+};
+
+/// Objects on the filesystem whose ioc.pending attribute is non-empty.
+std::vector<PendingWork> scan_pending(const sio::Filesystem& fs);
+
+/// Map a Table-I component name to its kind; throws on unknown names.
+sp::ComponentKind component_kind_from_name(const std::string& name);
+
+class OfflineReplayer {
+ public:
+  struct Report {
+    std::size_t objects = 0;
+    std::uint64_t bytes_read = 0;
+    double io_seconds = 0;
+    double compute_seconds = 0;
+    /// Per-component step counts executed offline.
+    std::map<std::string, std::uint64_t> steps_by_component;
+  };
+
+  OfflineReplayer(des::Simulator& sim, sio::Filesystem& fs,
+                  const sp::CostModel& cost)
+      : sim_(&sim), fs_(&fs), cost_(&cost) {}
+
+  /// Replay all pending analytics on `nodes` post-processing nodes (the
+  /// components run serially per object; objects are processed in storage
+  /// order). Objects are relabeled: pending moves into provenance.
+  des::Task<Report> replay_all(std::uint32_t nodes);
+
+ private:
+  des::Simulator* sim_;
+  sio::Filesystem* fs_;
+  const sp::CostModel* cost_;
+};
+
+}  // namespace ioc::post

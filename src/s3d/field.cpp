@@ -1,0 +1,22 @@
+#include "s3d/field.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ioc::s3d {
+
+double Field::min() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Field::max() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Field::mean() const {
+  if (data_.empty()) return 0;
+  return std::accumulate(data_.begin(), data_.end(), 0.0) /
+         static_cast<double>(data_.size());
+}
+
+}  // namespace ioc::s3d

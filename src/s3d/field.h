@@ -1,0 +1,46 @@
+// 2D scalar field for the combustion proxy: row-major storage, Neumann
+// boundaries along x (the direction of flame propagation) and periodic
+// boundaries along y.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ioc::s3d {
+
+class Field {
+ public:
+  Field(std::size_t nx, std::size_t ny, double init = 0.0)
+      : nx_(nx), ny_(ny), data_(nx * ny, init) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t i, std::size_t j) { return data_[i * ny_ + j]; }
+  double at(std::size_t i, std::size_t j) const { return data_[i * ny_ + j]; }
+
+  const std::vector<double>& raw() const { return data_; }
+  std::vector<double>& raw() { return data_; }
+
+  /// Five-point Laplacian with the boundary conventions above; dx = 1.
+  double laplacian(std::size_t i, std::size_t j) const {
+    const double c = at(i, j);
+    const double xm = i > 0 ? at(i - 1, j) : c;        // Neumann in x
+    const double xp = i + 1 < nx_ ? at(i + 1, j) : c;
+    const double ym = at(i, j == 0 ? ny_ - 1 : j - 1);  // periodic in y
+    const double yp = at(i, j + 1 == ny_ ? 0 : j + 1);
+    return xm + xp + ym + yp - 4.0 * c;
+  }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+ private:
+  std::size_t nx_;
+  std::size_t ny_;
+  std::vector<double> data_;
+};
+
+}  // namespace ioc::s3d

@@ -1,0 +1,65 @@
+#include "s3d/flame.h"
+
+#include <cmath>
+
+namespace ioc::s3d {
+
+FlameSim::FlameSim(FlameConfig cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      u_(cfg.nx, cfg.ny, 0.0),
+      scratch_(cfg.nx, cfg.ny, 0.0),
+      rng_(seed) {}
+
+void FlameSim::ignite_left(std::size_t cols) {
+  for (std::size_t i = 0; i < cols && i < cfg_.nx; ++i) {
+    for (std::size_t j = 0; j < cfg_.ny; ++j) {
+      double v = 1.0;
+      if (cfg_.ignition_noise > 0 && i + 1 == cols) {
+        v -= cfg_.ignition_noise * rng_.next_double();
+      }
+      u_.at(i, j) = v;
+    }
+  }
+}
+
+void FlameSim::ignite_disk(double cx, double cy, double radius) {
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < cfg_.nx; ++i) {
+    for (std::size_t j = 0; j < cfg_.ny; ++j) {
+      const double dx = static_cast<double>(i) - cx;
+      const double dy = static_cast<double>(j) - cy;
+      if (dx * dx + dy * dy <= r2) u_.at(i, j) = 1.0;
+    }
+  }
+}
+
+void FlameSim::step(int n) {
+  for (int s = 0; s < n; ++s) {
+    for (std::size_t i = 0; i < cfg_.nx; ++i) {
+      for (std::size_t j = 0; j < cfg_.ny; ++j) {
+        const double u = u_.at(i, j);
+        const double du =
+            cfg_.diffusion * u_.laplacian(i, j) + cfg_.rate * u * (1.0 - u);
+        double next = u + cfg_.dt * du;
+        if (next < 0.0) next = 0.0;
+        if (next > 1.0) next = 1.0;
+        scratch_.at(i, j) = next;
+      }
+    }
+    std::swap(u_.raw(), scratch_.raw());
+    t_ += cfg_.dt;
+    ++steps_;
+  }
+}
+
+double FlameSim::theoretical_front_speed() const {
+  return 2.0 * std::sqrt(cfg_.rate * cfg_.diffusion);
+}
+
+double FlameSim::burned_mass() const {
+  double sum = 0;
+  for (double v : u_.raw()) sum += v;
+  return sum;
+}
+
+}  // namespace ioc::s3d

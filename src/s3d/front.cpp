@@ -1,0 +1,133 @@
+#include "s3d/front.h"
+
+#include <cmath>
+
+namespace ioc::s3d {
+
+namespace {
+
+/// Linear interpolation of the iso-crossing between two samples.
+double cross(double a, double b, double iso) {
+  const double denom = b - a;
+  if (denom == 0.0) return 0.5;
+  return (iso - a) / denom;
+}
+
+}  // namespace
+
+std::vector<FrontPoint> FrontTracker::extract(const Field& f) const {
+  std::vector<FrontPoint> out;
+  // x-direction edges.
+  for (std::size_t i = 0; i + 1 < f.nx(); ++i) {
+    for (std::size_t j = 0; j < f.ny(); ++j) {
+      const double a = f.at(i, j);
+      const double b = f.at(i + 1, j);
+      if ((a - iso_) * (b - iso_) < 0) {
+        out.push_back({static_cast<double>(i) + cross(a, b, iso_),
+                       static_cast<double>(j)});
+      }
+    }
+  }
+  // y-direction edges (periodic).
+  for (std::size_t i = 0; i < f.nx(); ++i) {
+    for (std::size_t j = 0; j < f.ny(); ++j) {
+      const std::size_t jn = j + 1 == f.ny() ? 0 : j + 1;
+      const double a = f.at(i, j);
+      const double b = f.at(i, jn);
+      if ((a - iso_) * (b - iso_) < 0) {
+        out.push_back({static_cast<double>(i),
+                       static_cast<double>(j) + cross(a, b, iso_)});
+      }
+    }
+  }
+  return out;
+}
+
+double FrontTracker::mean_front_x(const Field& f) const {
+  double sum = 0;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < f.ny(); ++j) {
+    for (std::size_t i = 0; i + 1 < f.nx(); ++i) {
+      const double a = f.at(i, j);
+      const double b = f.at(i + 1, j);
+      if ((a - iso_) * (b - iso_) < 0) {
+        sum += static_cast<double>(i) + cross(a, b, iso_);
+        ++count;
+        break;  // first crossing per row: the leading front
+      }
+    }
+  }
+  if (count == 0) return -1.0;
+  return sum / static_cast<double>(count);
+}
+
+double FrontTracker::front_length(const Field& f) const {
+  // Marching squares: accumulate segment lengths per cell from the edge
+  // crossing pattern. For the simple (non-ambiguous) cases a cell with two
+  // crossings contributes one segment between them.
+  double length = 0;
+  for (std::size_t i = 0; i + 1 < f.nx(); ++i) {
+    for (std::size_t j = 0; j < f.ny(); ++j) {
+      const std::size_t jn = j + 1 == f.ny() ? 0 : j + 1;
+      const double v00 = f.at(i, j);
+      const double v10 = f.at(i + 1, j);
+      const double v01 = f.at(i, jn);
+      const double v11 = f.at(i + 1, jn);
+      FrontPoint pts[4];
+      int npts = 0;
+      if ((v00 - iso_) * (v10 - iso_) < 0) {  // bottom edge
+        pts[npts++] = {static_cast<double>(i) + cross(v00, v10, iso_),
+                       static_cast<double>(j)};
+      }
+      if ((v01 - iso_) * (v11 - iso_) < 0) {  // top edge
+        pts[npts++] = {static_cast<double>(i) + cross(v01, v11, iso_),
+                       static_cast<double>(j) + 1};
+      }
+      if ((v00 - iso_) * (v01 - iso_) < 0) {  // left edge
+        pts[npts++] = {static_cast<double>(i),
+                       static_cast<double>(j) + cross(v00, v01, iso_)};
+      }
+      if ((v10 - iso_) * (v11 - iso_) < 0) {  // right edge
+        pts[npts++] = {static_cast<double>(i) + 1,
+                       static_cast<double>(j) + cross(v10, v11, iso_)};
+      }
+      if (npts == 2) {
+        const double dx = pts[0].x - pts[1].x;
+        const double dy = pts[0].y - pts[1].y;
+        length += std::sqrt(dx * dx + dy * dy);
+      } else if (npts == 4) {
+        // Ambiguous saddle: pair bottom-left and top-right (convention).
+        const double d1x = pts[0].x - pts[2].x;
+        const double d1y = pts[0].y - pts[2].y;
+        const double d2x = pts[1].x - pts[3].x;
+        const double d2y = pts[1].y - pts[3].y;
+        length += std::sqrt(d1x * d1x + d1y * d1y) +
+                  std::sqrt(d2x * d2x + d2y * d2y);
+      }
+    }
+  }
+  return length;
+}
+
+void FrontSpeedEstimator::add(double t, double x) {
+  t_.push_back(t);
+  x_.push_back(x);
+}
+
+double FrontSpeedEstimator::speed() const {
+  const std::size_t n = t_.size();
+  if (n < 2) return 0;
+  double st = 0, sx = 0, stt = 0, stx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    st += t_[i];
+    sx += x_[i];
+    stt += t_[i] * t_[i];
+    stx += t_[i] * x_[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * stt - st * st;
+  if (denom == 0) return 0;
+  return (dn * stx - st * sx) / denom;
+}
+
+}  // namespace ioc::s3d

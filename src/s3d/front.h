@@ -1,0 +1,54 @@
+// Flame-front analytics: extract the iso-contour of the progress variable
+// (marching-squares crossings), estimate front position and propagation
+// speed, and quantify wrinkling via front length — the analyses the paper's
+// S3D pipeline performs online.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "s3d/field.h"
+
+namespace ioc::s3d {
+
+struct FrontPoint {
+  double x = 0;
+  double y = 0;
+};
+
+class FrontTracker {
+ public:
+  explicit FrontTracker(double iso = 0.5) : iso_(iso) {}
+
+  double iso() const { return iso_; }
+
+  /// All iso-crossing points along grid edges (marching-squares vertices).
+  std::vector<FrontPoint> extract(const Field& f) const;
+
+  /// Mean x-position of the front: the average x-crossing per row for a
+  /// front propagating along x. Returns -1 when no front exists.
+  double mean_front_x(const Field& f) const;
+
+  /// Total length of the iso-contour (sum of marching-squares segment
+  /// lengths); for a planar front this is ~ny, growth measures wrinkling.
+  double front_length(const Field& f) const;
+
+ private:
+  double iso_;
+};
+
+/// Least-squares fit of front position over time: the measured flame speed.
+class FrontSpeedEstimator {
+ public:
+  void add(double t, double x);
+  std::size_t samples() const { return t_.size(); }
+  /// Fitted dx/dt; 0 with fewer than two samples.
+  double speed() const;
+
+ private:
+  std::vector<double> t_;
+  std::vector<double> x_;
+};
+
+}  // namespace ioc::s3d

@@ -1,0 +1,53 @@
+#include "sio/method.h"
+
+namespace ioc::sio {
+
+des::Task<bool> StagingMethod::write_step(StepRecord rec) {
+  dt::StepData d;
+  d.step = rec.step;
+  d.bytes = rec.total_bytes();
+  d.created = rec.created;
+  d.payload = std::make_shared<StepRecord>(std::move(rec));
+  co_return co_await stream_->write(std::move(d));
+}
+
+des::Task<void> Filesystem::store(StoredObject obj) {
+  co_await channel_.acquire();
+  const double secs = static_cast<double>(obj.bytes) / bandwidth_bps_;
+  co_await des::delay(*sim_, des::from_seconds(secs));
+  channel_.release();
+  bytes_stored_ += obj.bytes;
+  obj.stored_at = sim_->now();
+  objects_.push_back(std::move(obj));
+}
+
+des::Task<void> Filesystem::fetch(std::uint64_t bytes) {
+  co_await channel_.acquire();
+  const double secs = static_cast<double>(bytes) / bandwidth_bps_;
+  co_await des::delay(*sim_, des::from_seconds(secs));
+  channel_.release();
+  bytes_fetched_ += bytes;
+}
+
+void Filesystem::set_attribute(std::size_t index, const std::string& key,
+                               const std::string& value) {
+  objects_.at(index).attributes[key] = value;
+}
+
+des::Task<bool> PosixMethod::write_step(StepRecord rec) {
+  Filesystem::StoredObject obj;
+  obj.group = rec.group;
+  obj.step = rec.step;
+  obj.bytes = rec.total_bytes();
+  obj.attributes = rec.attributes;
+  co_await fs_->store(std::move(obj));
+  co_return true;
+}
+
+des::Task<bool> NullMethod::write_step(StepRecord rec) {
+  (void)rec;
+  ++dropped_;
+  co_return true;
+}
+
+}  // namespace ioc::sio

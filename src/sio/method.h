@@ -1,0 +1,102 @@
+// Pluggable I/O methods behind the write interface, mirroring ADIOS method
+// selection. The container runtime switches a writer's method at run time —
+// that is exactly how the offline path redirects a surviving component's
+// output from the staging transport to disk, with provenance attributes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/process.h"
+#include "des/semaphore.h"
+#include "dt/stream.h"
+#include "sio/step.h"
+
+namespace ioc::sio {
+
+class Method {
+ public:
+  virtual ~Method() = default;
+  virtual const char* name() const = 0;
+  /// Emit one completed step. Returns false if the sink rejected it
+  /// (e.g. the staging stream has closed).
+  virtual des::Task<bool> write_step(StepRecord rec) = 0;
+};
+
+/// STAGING: forwards steps into a DataTap stream (asynchronous, pulled by
+/// the downstream container's replicas).
+class StagingMethod : public Method {
+ public:
+  explicit StagingMethod(dt::Stream& stream) : stream_(&stream) {}
+  const char* name() const override { return "STAGING"; }
+  des::Task<bool> write_step(StepRecord rec) override;
+  dt::Stream& stream() const { return *stream_; }
+
+ private:
+  dt::Stream* stream_;
+};
+
+/// Modeled parallel filesystem with an aggregate-bandwidth bottleneck;
+/// stored objects stay inspectable so tests can check provenance labels.
+class Filesystem {
+ public:
+  struct StoredObject {
+    std::string group;
+    std::uint64_t step = 0;
+    std::uint64_t bytes = 0;
+    des::SimTime stored_at = 0;
+    std::map<std::string, std::string> attributes;
+  };
+
+  Filesystem(des::Simulator& sim, double bandwidth_bps = 10.0e9)
+      : sim_(&sim), bandwidth_bps_(bandwidth_bps), channel_(sim, 1) {}
+
+  /// Store an object; occupies the filesystem channel for bytes/bandwidth.
+  des::Task<void> store(StoredObject obj);
+  /// Read `bytes` back from storage (same shared channel) — the offline
+  /// post-processing path pays this cost per object.
+  des::Task<void> fetch(std::uint64_t bytes);
+
+  const std::vector<StoredObject>& objects() const { return objects_; }
+  std::uint64_t bytes_stored() const { return bytes_stored_; }
+  std::uint64_t bytes_fetched() const { return bytes_fetched_; }
+  /// Update an attribute on a stored object (e.g. provenance relabeling
+  /// after offline analytics complete).
+  void set_attribute(std::size_t index, const std::string& key,
+                     const std::string& value);
+
+ private:
+  des::Simulator* sim_;
+  double bandwidth_bps_;
+  des::Semaphore channel_;
+  std::vector<StoredObject> objects_;
+  std::uint64_t bytes_stored_ = 0;
+  std::uint64_t bytes_fetched_ = 0;
+};
+
+/// POSIX: synchronous write to the modeled filesystem; the writer waits for
+/// the store to complete (the behaviour asynchronous staging beats).
+class PosixMethod : public Method {
+ public:
+  explicit PosixMethod(Filesystem& fs) : fs_(&fs) {}
+  const char* name() const override { return "POSIX"; }
+  des::Task<bool> write_step(StepRecord rec) override;
+
+ private:
+  Filesystem* fs_;
+};
+
+/// NULL method: drops steps; useful for harnesses measuring upstream cost.
+class NullMethod : public Method {
+ public:
+  const char* name() const override { return "NULL"; }
+  des::Task<bool> write_step(StepRecord rec) override;
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ioc::sio

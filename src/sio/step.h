@@ -1,0 +1,47 @@
+// One output step of a group: the unit that travels through methods,
+// streams, and onto (modeled) storage, carrying per-step attributes such as
+// data-processing provenance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/time.h"
+
+namespace ioc::sio {
+
+struct VarWrite {
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;                ///< element count
+  std::shared_ptr<const void> data;       ///< real payload when carried
+};
+
+struct StepRecord {
+  std::string group;
+  std::uint64_t step = 0;
+  des::SimTime created = 0;
+  std::vector<VarWrite> vars;
+  std::map<std::string, std::string> attributes;
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& v : vars) n += v.bytes;
+    return n;
+  }
+  const VarWrite* find(const std::string& name) const {
+    for (const auto& v : vars) {
+      if (v.name == name) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Attribute keys used by the container runtime's provenance labeling.
+inline constexpr const char* kAttrProvenance = "ioc.provenance";  // done ops
+inline constexpr const char* kAttrPending = "ioc.pending";        // needed ops
+
+}  // namespace ioc::sio

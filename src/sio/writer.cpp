@@ -1,0 +1,78 @@
+#include "sio/writer.h"
+
+#include <stdexcept>
+
+namespace ioc::sio {
+
+void Writer::open(std::uint64_t step) {
+  if (open_) throw std::logic_error("sio::Writer: step already open");
+  if (pending_method_ != nullptr) {
+    method_ = std::move(pending_method_);
+    pending_method_ = nullptr;
+  }
+  current_ = StepRecord{};
+  current_.group = group_->name();
+  current_.step = step;
+  current_.created = sim_->now();
+  open_ = true;
+}
+
+void Writer::write(const std::string& var, std::uint64_t count,
+                   std::shared_ptr<const void> data) {
+  const VarDef* def = group_->find_var(var);
+  if (def == nullptr) {
+    throw std::invalid_argument("sio::Writer: unknown variable " + var);
+  }
+  write_bytes(var, count * type_size(def->type), std::move(data));
+  current_.vars.back().count = count;
+}
+
+void Writer::write_bytes(const std::string& var, std::uint64_t bytes,
+                         std::shared_ptr<const void> data) {
+  if (!open_) throw std::logic_error("sio::Writer: no open step");
+  if (group_->find_var(var) == nullptr) {
+    throw std::invalid_argument("sio::Writer: unknown variable " + var);
+  }
+  VarWrite w;
+  w.name = var;
+  w.bytes = bytes;
+  w.count = bytes;
+  w.data = std::move(data);
+  current_.vars.push_back(std::move(w));
+}
+
+void Writer::attribute(const std::string& key, const std::string& value) {
+  if (!open_) throw std::logic_error("sio::Writer: no open step");
+  current_.attributes[key] = value;
+}
+
+des::Task<bool> Writer::close() {
+  if (!open_) throw std::logic_error("sio::Writer: no open step");
+  open_ = false;
+  StepRecord rec = std::move(current_);
+  current_ = StepRecord{};
+  bool ok = co_await method_->write_step(std::move(rec));
+  if (ok) ++steps_emitted_;
+  co_return ok;
+}
+
+des::Task<std::optional<StepRecord>> Reader::next(net::NodeId node) {
+  auto d = co_await stream_->read(node);
+  if (!d.has_value()) co_return std::nullopt;
+  if (d->payload != nullptr) {
+    // Payload written through a StagingMethod: recover the full record.
+    auto rec = std::static_pointer_cast<const StepRecord>(d->payload);
+    co_return *rec;
+  }
+  StepRecord rec;
+  rec.group = "(raw)";
+  rec.step = d->step;
+  rec.created = d->created;
+  VarWrite w;
+  w.name = "data";
+  w.bytes = d->bytes;
+  rec.vars.push_back(std::move(w));
+  co_return rec;
+}
+
+}  // namespace ioc::sio

@@ -1,0 +1,59 @@
+// Compressed sparse adjacency (bond graph) produced by the Bonds component
+// and consumed by CSym reference checks and CNA.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ioc::sp {
+
+class Adjacency {
+ public:
+  Adjacency() = default;
+
+  static Adjacency from_lists(
+      const std::vector<std::vector<std::uint32_t>>& lists) {
+    Adjacency a;
+    a.offsets_.clear();
+    a.offsets_.reserve(lists.size() + 1);
+    a.offsets_.push_back(0);
+    for (const auto& l : lists) {
+      std::vector<std::uint32_t> sorted(l);
+      std::sort(sorted.begin(), sorted.end());
+      a.neighbors_.insert(a.neighbors_.end(), sorted.begin(), sorted.end());
+      a.offsets_.push_back(static_cast<std::uint32_t>(a.neighbors_.size()));
+    }
+    return a;
+  }
+
+  std::size_t size() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  std::span<const std::uint32_t> neighbors_of(std::size_t i) const {
+    return {neighbors_.data() + offsets_[i],
+            neighbors_.data() + offsets_[i + 1]};
+  }
+
+  std::size_t degree(std::size_t i) const {
+    return offsets_[i + 1] - offsets_[i];
+  }
+
+  bool bonded(std::uint32_t i, std::uint32_t j) const {
+    auto n = neighbors_of(i);
+    return std::binary_search(n.begin(), n.end(), j);
+  }
+
+  /// Undirected bond count (each bond stored in both directions).
+  std::uint64_t bond_count() const { return neighbors_.size() / 2; }
+
+  bool operator==(const Adjacency& o) const = default;
+
+ private:
+  std::vector<std::uint32_t> offsets_{0};
+  std::vector<std::uint32_t> neighbors_;
+};
+
+}  // namespace ioc::sp

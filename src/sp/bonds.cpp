@@ -1,0 +1,41 @@
+#include "sp/bonds.h"
+
+#include "md/cells.h"
+
+namespace ioc::sp {
+
+Adjacency BondAnalysis::compute(const md::AtomData& atoms) const {
+  md::CellList cl(atoms.box, cfg_.cutoff);
+  cl.build(atoms.pos);
+  return Adjacency::from_lists(cl.neighbor_lists(atoms.pos));
+}
+
+Adjacency BondAnalysis::compute_naive(const md::AtomData& atoms) const {
+  const double rc2 = cfg_.cutoff * cfg_.cutoff;
+  std::vector<std::vector<std::uint32_t>> lists(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+      if (atoms.box.min_image(atoms.pos[i], atoms.pos[j]).norm2() <= rc2) {
+        lists[i].push_back(static_cast<std::uint32_t>(j));
+        lists[j].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  return Adjacency::from_lists(lists);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+BondAnalysis::broken_bonds(const Adjacency& reference,
+                           const Adjacency& current) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> broken;
+  const std::size_t n = std::min(reference.size(), current.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j : reference.neighbors_of(i)) {
+      if (j <= i || j >= n) continue;
+      if (!current.bonded(i, j)) broken.emplace_back(i, j);
+    }
+  }
+  return broken;
+}
+
+}  // namespace ioc::sp

@@ -1,0 +1,42 @@
+// The Bonds component of the SmartPointer toolkit: decides which atom pairs
+// are currently bonded (cutoff criterion) and reports bonds broken relative
+// to a reference adjacency — the paper's Table I lists it as the O(n^2)
+// stage with dynamic branching (it kills itself when CSym confirms a break
+// and hands the pipeline to CNA).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "md/atoms.h"
+#include "sp/adjacency.h"
+
+namespace ioc::sp {
+
+struct BondsConfig {
+  /// Bond cutoff. For the LJ FCC solid (a = 1.5496) the nearest-neighbor
+  /// distance is a/sqrt(2) = 1.096; 1.3 separates first and second shells.
+  double cutoff = 1.3;
+};
+
+class BondAnalysis {
+ public:
+  explicit BondAnalysis(BondsConfig cfg = BondsConfig{}) : cfg_(cfg) {}
+
+  const BondsConfig& config() const { return cfg_; }
+
+  /// Cell-list-accelerated bond detection.
+  Adjacency compute(const md::AtomData& atoms) const;
+  /// Literal O(n^2) reference implementation (tests compare against it).
+  Adjacency compute_naive(const md::AtomData& atoms) const;
+
+  /// Bonds present in `reference` but absent in `current` (i < j pairs).
+  static std::vector<std::pair<std::uint32_t, std::uint32_t>> broken_bonds(
+      const Adjacency& reference, const Adjacency& current);
+
+ private:
+  BondsConfig cfg_;
+};
+
+}  // namespace ioc::sp

@@ -1,0 +1,134 @@
+#include "sp/cna.h"
+
+#include <algorithm>
+
+#include "md/cells.h"
+
+namespace ioc::sp {
+
+const char* cna_label_name(CnaLabel l) {
+  switch (l) {
+    case CnaLabel::kOther: return "other";
+    case CnaLabel::kFcc: return "fcc";
+    case CnaLabel::kHcp: return "hcp";
+    case CnaLabel::kBcc: return "bcc";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Longest simple path (in edges) in a small undirected graph given as an
+/// adjacency matrix over `n` vertices. Exhaustive DFS — CNA common-neighbor
+/// sets are tiny (<= 6 for the structures of interest).
+int longest_chain(const std::vector<std::vector<bool>>& adj, int n) {
+  int best = 0;
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  // Iterative DFS with explicit recursion via lambda.
+  auto dfs = [&](auto&& self, int v, int len) -> void {
+    best = std::max(best, len);
+    for (int w = 0; w < n; ++w) {
+      if (!used[static_cast<std::size_t>(w)] &&
+          adj[static_cast<std::size_t>(v)][static_cast<std::size_t>(w)]) {
+        used[static_cast<std::size_t>(w)] = true;
+        self(self, w, len + 1);
+        used[static_cast<std::size_t>(w)] = false;
+      }
+    }
+  };
+  for (int v = 0; v < n; ++v) {
+    used[static_cast<std::size_t>(v)] = true;
+    dfs(dfs, v, 0);
+    used[static_cast<std::size_t>(v)] = false;
+  }
+  return best;
+}
+
+}  // namespace
+
+CnaSignature CommonNeighborAnalysis::pair_signature(const Adjacency& adj,
+                                                    std::uint32_t i,
+                                                    std::uint32_t j) {
+  CnaSignature sig;
+  auto ni = adj.neighbors_of(i);
+  auto nj = adj.neighbors_of(j);
+  std::vector<std::uint32_t> common;
+  std::set_intersection(ni.begin(), ni.end(), nj.begin(), nj.end(),
+                        std::back_inserter(common));
+  // The pair atoms themselves are excluded by construction (no self-bonds).
+  sig.common = static_cast<int>(common.size());
+  const int n = sig.common;
+  std::vector<std::vector<bool>> sub(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (adj.bonded(common[static_cast<std::size_t>(a)],
+                     common[static_cast<std::size_t>(b)])) {
+        sub[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = true;
+        sub[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = true;
+        ++sig.bonds;
+      }
+    }
+  }
+  sig.longest_chain = longest_chain(sub, n);
+  return sig;
+}
+
+CnaLabel CommonNeighborAnalysis::label_atom(const Adjacency& adj,
+                                            std::uint32_t i) const {
+  const auto neigh = adj.neighbors_of(i);
+  const std::size_t deg = neigh.size();
+  if (deg == 12) {
+    int n421 = 0, n422 = 0;
+    for (std::uint32_t j : neigh) {
+      const CnaSignature s = pair_signature(adj, i, j);
+      if (s == CnaSignature{4, 2, 1}) {
+        ++n421;
+      } else if (s == CnaSignature{4, 2, 2}) {
+        ++n422;
+      }
+    }
+    if (n421 == 12) return CnaLabel::kFcc;
+    if (n421 == 6 && n422 == 6) return CnaLabel::kHcp;
+    return CnaLabel::kOther;
+  }
+  if (deg == 14) {
+    int n666 = 0, n444 = 0;
+    for (std::uint32_t j : neigh) {
+      const CnaSignature s = pair_signature(adj, i, j);
+      if (s == CnaSignature{6, 6, 6}) {
+        ++n666;
+      } else if (s == CnaSignature{4, 4, 4}) {
+        ++n444;
+      }
+    }
+    if (n666 == 8 && n444 == 6) return CnaLabel::kBcc;
+  }
+  return CnaLabel::kOther;
+}
+
+CnaResult CommonNeighborAnalysis::classify(const md::AtomData& atoms) const {
+  std::vector<std::uint32_t> all(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    all[i] = static_cast<std::uint32_t>(i);
+  }
+  return classify_subset(atoms, all);
+}
+
+CnaResult CommonNeighborAnalysis::classify_subset(
+    const md::AtomData& atoms,
+    const std::vector<std::uint32_t>& subset) const {
+  md::CellList cl(atoms.box, cfg_.cutoff);
+  cl.build(atoms.pos);
+  const Adjacency adj = Adjacency::from_lists(cl.neighbor_lists(atoms.pos));
+
+  CnaResult res;
+  res.labels.assign(atoms.size(), CnaLabel::kOther);
+  for (std::uint32_t i : subset) {
+    res.labels[i] = label_atom(adj, i);
+  }
+  return res;
+}
+
+}  // namespace ioc::sp

@@ -1,0 +1,130 @@
+#include "sp/costmodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ioc::sp {
+
+const char* component_name(ComponentKind k) {
+  switch (k) {
+    case ComponentKind::kHelper: return "helper";
+    case ComponentKind::kBonds: return "bonds";
+    case ComponentKind::kCsym: return "csym";
+    case ComponentKind::kCna: return "cna";
+    case ComponentKind::kViz: return "viz";
+    case ComponentKind::kFront: return "front";
+  }
+  return "?";
+}
+
+const char* compute_model_name(ComputeModel m) {
+  switch (m) {
+    case ComputeModel::kTree: return "tree";
+    case ComputeModel::kSerial: return "serial";
+    case ComputeModel::kRoundRobin: return "round-robin";
+    case ComputeModel::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+const std::vector<ComponentTraits>& all_traits() {
+  static const std::vector<ComponentTraits> kTraits = {
+      {ComponentKind::kHelper, "helper", 1, {ComputeModel::kTree}, false},
+      {ComponentKind::kBonds,
+       "bonds",
+       2,
+       {ComputeModel::kSerial, ComputeModel::kRoundRobin,
+        ComputeModel::kParallel},
+       true},
+      {ComponentKind::kCsym,
+       "csym",
+       1,
+       {ComputeModel::kSerial, ComputeModel::kRoundRobin},
+       false},
+      {ComponentKind::kCna,
+       "cna",
+       3,
+       {ComputeModel::kSerial, ComputeModel::kRoundRobin},
+       false,
+       false},
+      // Extension beyond Table I: the visualization component of the
+      // paper's motivating scenario (Section I), a natural donor/offline
+      // candidate since science can tolerate delayed rendering.
+      {ComponentKind::kViz,
+       "viz",
+       1,
+       {ComputeModel::kSerial, ComputeModel::kRoundRobin},
+       false,
+       true},
+      // Extension: the S3D flame-front tracker (marching-squares contour
+      // extraction is linear in grid cells).
+      {ComponentKind::kFront,
+       "front",
+       1,
+       {ComputeModel::kSerial, ComputeModel::kRoundRobin,
+        ComputeModel::kParallel},
+       false,
+       true},
+  };
+  return kTraits;
+}
+
+const ComponentTraits& traits(ComponentKind k) {
+  return all_traits()[static_cast<std::size_t>(k)];
+}
+
+double CostModel::base_seconds(ComponentKind k, std::uint64_t atoms) const {
+  const double m = static_cast<double>(atoms) / 1.0e6;
+  switch (k) {
+    case ComponentKind::kHelper: return cfg_.helper_coeff * m;
+    case ComponentKind::kBonds: return cfg_.bonds_coeff * m * m;
+    case ComponentKind::kCsym: return cfg_.csym_coeff * m;
+    case ComponentKind::kCna: return cfg_.cna_coeff * m * m * m;
+    case ComponentKind::kViz: return cfg_.viz_coeff * m;
+    case ComponentKind::kFront: return cfg_.front_coeff * m;
+  }
+  return 0;
+}
+
+double CostModel::step_seconds(ComponentKind k, ComputeModel m,
+                               std::uint64_t atoms,
+                               std::uint32_t width) const {
+  const double base = base_seconds(k, atoms);
+  const double w = std::max<std::uint32_t>(width, 1);
+  switch (m) {
+    case ComputeModel::kTree: {
+      const double levels = std::ceil(std::log2(std::max(2.0, w)));
+      return base / w + cfg_.tree_level_seconds * levels;
+    }
+    case ComputeModel::kSerial:
+    case ComputeModel::kRoundRobin:
+      return base;
+    case ComputeModel::kParallel: {
+      const double s = cfg_.amdahl_serial_fraction;
+      return base * (s + (1.0 - s) / w);
+    }
+  }
+  return base;
+}
+
+double CostModel::throughput(ComponentKind k, ComputeModel m,
+                             std::uint64_t atoms, std::uint32_t width) const {
+  if (width == 0) return 0.0;
+  const double step = step_seconds(k, m, atoms, width);
+  if (step <= 0) return 0.0;
+  if (m == ComputeModel::kRoundRobin) {
+    return static_cast<double>(width) / step;
+  }
+  return 1.0 / step;
+}
+
+std::uint32_t CostModel::width_for_throughput(ComponentKind k, ComputeModel m,
+                                              std::uint64_t atoms,
+                                              double steps_per_second) const {
+  for (std::uint32_t w = 1; w <= 4096; ++w) {
+    if (throughput(k, m, atoms, w) >= steps_per_second) return w;
+  }
+  return 4096;
+}
+
+}  // namespace ioc::sp

@@ -1,0 +1,69 @@
+#include "sp/csym.h"
+
+#include <algorithm>
+
+#include "md/cells.h"
+
+namespace ioc::sp {
+
+std::vector<double> CentralSymmetry::compute(const md::AtomData& atoms) const {
+  md::CellList cl(atoms.box, cfg_.cutoff);
+  cl.build(atoms.pos);
+  auto nl = cl.neighbor_lists(atoms.pos);
+
+  std::vector<double> csp(atoms.size(), 0.0);
+  std::vector<std::pair<double, md::Vec3>> nn;  // (r2, displacement)
+  std::vector<double> pair_sums;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    nn.clear();
+    for (std::uint32_t j : nl[i]) {
+      const md::Vec3 d = atoms.box.min_image(atoms.pos[j], atoms.pos[i]);
+      nn.emplace_back(d.norm2(), d);
+    }
+    const std::size_t k =
+        std::min<std::size_t>(nn.size(), static_cast<std::size_t>(cfg_.num_neighbors));
+    if (k < 2) {
+      // An isolated atom has no symmetry to measure; flag it strongly.
+      csp[i] = cfg_.cutoff * cfg_.cutoff;
+      continue;
+    }
+    std::partial_sort(nn.begin(), nn.begin() + static_cast<std::ptrdiff_t>(k),
+                      nn.end(),
+                      [](const auto& a, const auto& b) { return a.first < b.first; });
+    pair_sums.clear();
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b) {
+        pair_sums.push_back((nn[a].second + nn[b].second).norm2());
+      }
+    }
+    const std::size_t take = k / 2;
+    std::partial_sort(pair_sums.begin(),
+                      pair_sums.begin() + static_cast<std::ptrdiff_t>(take),
+                      pair_sums.end());
+    double sum = 0;
+    for (std::size_t t = 0; t < take; ++t) sum += pair_sums[t];
+    csp[i] = sum;
+  }
+  return csp;
+}
+
+bool BreakDetector::detect(const std::vector<double>& csp) const {
+  if (csp.empty()) return false;
+  std::size_t above = 0;
+  for (double v : csp) {
+    if (v > threshold) ++above;
+  }
+  return static_cast<double>(above) >
+         min_fraction * static_cast<double>(csp.size());
+}
+
+std::vector<std::uint32_t> BreakDetector::region(
+    const std::vector<double>& csp) const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < csp.size(); ++i) {
+    if (csp[i] > threshold) out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+}  // namespace ioc::sp

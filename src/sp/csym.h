@@ -1,0 +1,46 @@
+// Central-symmetry parameter (CSym): per-atom measure of local inversion
+// symmetry. Zero on a perfect centrosymmetric lattice (FCC); grows at
+// defects, surfaces, and crack faces. The pipeline uses it to confirm that
+// a bond break reported by Bonds is a real inelastic event.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "md/atoms.h"
+
+namespace ioc::sp {
+
+struct CsymConfig {
+  int num_neighbors = 12;  ///< 12 for FCC, 8 for BCC
+  double cutoff = 1.6;     ///< neighbor-search radius
+};
+
+class CentralSymmetry {
+ public:
+  explicit CentralSymmetry(CsymConfig cfg = CsymConfig{}) : cfg_(cfg) {}
+
+  const CsymConfig& config() const { return cfg_; }
+
+  /// Per-atom CSP values, following the standard formulation: take the
+  /// num_neighbors nearest neighbors, form all pair sums |r_i + r_j|^2, and
+  /// add up the num_neighbors/2 smallest. Atoms with fewer neighbors than
+  /// requested use what they have (their CSP is naturally elevated).
+  std::vector<double> compute(const md::AtomData& atoms) const;
+
+ private:
+  CsymConfig cfg_;
+};
+
+/// Decide whether a structural break has occurred: true when more than
+/// `min_fraction` of atoms exceed `threshold`.
+struct BreakDetector {
+  double threshold = 0.5;     ///< CSP units (squared length)
+  double min_fraction = 0.001;
+
+  bool detect(const std::vector<double>& csp) const;
+  /// Indices of atoms above threshold — the "crack region" CNA labels.
+  std::vector<std::uint32_t> region(const std::vector<double>& csp) const;
+};
+
+}  // namespace ioc::sp

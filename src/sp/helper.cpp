@@ -1,0 +1,72 @@
+#include "sp/helper.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ioc::sp {
+
+AggregationTree::AggregationTree(std::size_t fanin) : fanin_(fanin) {
+  assert(fanin >= 2);
+}
+
+std::size_t AggregationTree::depth_for(std::size_t leaves) const {
+  std::size_t depth = 0;
+  std::size_t width = leaves;
+  while (width > 1) {
+    width = (width + fanin_ - 1) / fanin_;
+    ++depth;
+  }
+  return depth;
+}
+
+md::AtomData AggregationTree::aggregate(
+    const std::vector<md::AtomData>& chunks) const {
+  if (chunks.empty()) return {};
+  // Combine level by level, the way the physical tree does; the result is
+  // identical to straight concatenation but the structure mirrors the cost
+  // model's depth term.
+  std::vector<md::AtomData> level = chunks;
+  while (level.size() > 1) {
+    std::vector<md::AtomData> next;
+    for (std::size_t i = 0; i < level.size(); i += fanin_) {
+      md::AtomData merged = std::move(level[i]);
+      for (std::size_t k = 1; k < fanin_ && i + k < level.size(); ++k) {
+        const md::AtomData& c = level[i + k];
+        if (c.box.lo.x != merged.box.lo.x || c.box.hi.x != merged.box.hi.x ||
+            c.box.hi.y != merged.box.hi.y || c.box.hi.z != merged.box.hi.z) {
+          throw std::invalid_argument(
+              "AggregationTree: chunks disagree on the simulation box");
+        }
+        merged.id.insert(merged.id.end(), c.id.begin(), c.id.end());
+        merged.pos.insert(merged.pos.end(), c.pos.begin(), c.pos.end());
+        merged.vel.insert(merged.vel.end(), c.vel.begin(), c.vel.end());
+        merged.force.insert(merged.force.end(), c.force.begin(),
+                            c.force.end());
+      }
+      next.push_back(std::move(merged));
+    }
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+std::vector<md::AtomData> AggregationTree::scatter(const md::AtomData& atoms,
+                                                   std::size_t parts) {
+  std::vector<md::AtomData> out(parts);
+  const std::size_t n = atoms.size();
+  const std::size_t per = (n + parts - 1) / parts;
+  for (std::size_t p = 0; p < parts; ++p) {
+    out[p].box = atoms.box;
+    const std::size_t b = p * per;
+    const std::size_t e = std::min(n, b + per);
+    for (std::size_t i = b; i < e; ++i) {
+      out[p].id.push_back(atoms.id[i]);
+      out[p].pos.push_back(atoms.pos[i]);
+      out[p].vel.push_back(atoms.vel[i]);
+      out[p].force.push_back(atoms.force[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ioc::sp

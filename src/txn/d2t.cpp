@@ -1,0 +1,241 @@
+#include "txn/d2t.h"
+
+#include "util/log.h"
+
+namespace ioc::txn {
+
+namespace {
+
+constexpr const char* kBeginMsg = "TXN_BEGIN";
+constexpr const char* kVoteMsg = "TXN_VOTE";
+constexpr const char* kCommitMsg = "TXN_COMMIT";
+constexpr const char* kAbortMsg = "TXN_ABORT";
+constexpr const char* kTimeoutMsg = "__txn_timeout__";
+
+bool is_decision(const std::string& type) {
+  return type == kCommitMsg || type == kAbortMsg;
+}
+
+}  // namespace
+
+TxnHarness::TxnHarness(ev::Bus& bus, TxnConfig cfg) : bus_(&bus), cfg_(cfg) {
+  auto& cluster = bus.network().cluster();
+  const net::NodeId sub_reader_node =
+      cluster.size() > 1 ? net::NodeId{1} : net::NodeId{0};
+  coord_ = bus.open(0, "txn.coord").id();
+  writer_side_.ep = bus.open(0, "txn.sub.writers").id();
+  reader_side_.ep = bus.open(sub_reader_node, "txn.sub.readers").id();
+
+  const std::size_t total = cfg.writers + cfg.readers;
+  members_.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const net::NodeId node =
+        static_cast<net::NodeId>((i + 2) % cluster.size());
+    members_[i].ep = bus.open(node, "txn.member").id();
+    if (cfg.failure.participant == static_cast<int>(i)) {
+      members_[i].dies_at = cfg.failure.at;
+    }
+    if (i < cfg.writers) {
+      writer_side_.members.push_back(i);
+    } else {
+      reader_side_.members.push_back(i);
+    }
+    procs_.push_back(spawn(bus.sim(), member_loop(i)));
+  }
+}
+
+TxnHarness::~TxnHarness() {
+  for (auto& m : members_) bus_->close(m.ep);
+  bus_->close(writer_side_.ep);
+  bus_->close(reader_side_.ep);
+  bus_->close(coord_);
+}
+
+void TxnHarness::set_operation(std::size_t index, Operation* op) {
+  members_.at(index).op = op;
+}
+
+des::Process TxnHarness::member_loop(std::size_t index) {
+  ev::Endpoint* self = bus_->find(members_[index].ep);
+  while (self != nullptr) {
+    auto msg = co_await self->mailbox().get();
+    if (!msg.has_value()) break;
+    Member& me = members_[index];
+
+    if (msg->type == kBeginMsg) {
+      if (me.dies_at <= Phase::kBegin) me.dead = true;
+      if (me.dead) continue;
+      ev::Message reply;
+      reply.type = "TXN_BEGUN";
+      reply.token = msg->token;
+      co_await bus_->post(me.ep, msg->from, std::move(reply));
+    } else if (msg->type == kVoteMsg) {
+      if (me.dies_at <= Phase::kVote) me.dead = true;
+      if (me.dead) continue;
+      bool yes = true;
+      if (me.op != nullptr) {
+        yes = me.op->prepare();
+        me.prepared = yes;
+      }
+      ev::Message reply;
+      reply.type = yes ? "TXN_VOTE_YES" : "TXN_VOTE_NO";
+      reply.token = msg->token;
+      co_await bus_->post(me.ep, msg->from, std::move(reply));
+    } else if (is_decision(msg->type)) {
+      if (me.dies_at <= Phase::kDecide) me.dead = true;
+      if (me.dead) continue;
+      if (me.op != nullptr) {
+        if (msg->type == kCommitMsg) {
+          me.op->commit();
+        } else if (me.prepared) {
+          me.op->abort();
+        }
+      }
+      me.prepared = false;
+      me.finished = true;
+      ev::Message reply;
+      reply.type = "TXN_FINAL";
+      reply.token = msg->token;
+      co_await bus_->post(me.ep, msg->from, std::move(reply));
+    }
+  }
+}
+
+des::Task<std::vector<ev::Message>> TxnHarness::fan_gather(
+    ev::EndpointId from, const std::vector<std::size_t>& members,
+    const std::string& type, std::uint64_t token) {
+  std::vector<ev::Message> replies;
+  if (members.empty()) co_return replies;
+  for (std::size_t idx : members) {
+    ev::Message m;
+    m.type = type;
+    m.token = token;
+    co_await bus_->post(from, members_[idx].ep, std::move(m));
+  }
+  ev::Endpoint* self = bus_->find(from);
+  if (self == nullptr) co_return replies;
+  auto& sim = bus_->sim();
+  sim.call_at(sim.now() + cfg_.gather_timeout, [this, from, token] {
+    ev::Endpoint* ep = bus_->find(from);
+    if (ep != nullptr) {
+      ev::Message t;
+      t.type = kTimeoutMsg;
+      t.token = token;
+      ep->mailbox().try_put(std::move(t));
+    }
+  });
+  while (replies.size() < members.size()) {
+    auto msg = co_await self->mailbox().get();
+    if (!msg.has_value()) break;
+    if (msg->token != token) continue;  // stale round traffic
+    if (msg->type == kTimeoutMsg) break;
+    replies.push_back(std::move(*msg));
+  }
+  co_return replies;
+}
+
+namespace {
+
+/// Runs one side's fan-out/gather concurrently with the other side's.
+des::Process side_round(TxnHarness* h,
+                        des::Task<std::vector<ev::Message>> task,
+                        std::vector<ev::Message>* out) {
+  (void)h;
+  *out = co_await std::move(task);
+}
+
+}  // namespace
+
+des::Task<TxnResult> TxnHarness::run() {
+  auto& sim = bus_->sim();
+  auto& net = bus_->network();
+  const des::SimTime start = sim.now();
+  const std::uint64_t msg_base =
+      bus_->stats(ev::TrafficClass::kControl).messages;
+  const std::uint64_t token = 1000 + ++txn_counter_;
+
+  ev::Endpoint* coord_ep = bus_->find(coord_);
+  const net::NodeId coord_node = coord_ep->node();
+  const net::NodeId wsub_node = bus_->find(writer_side_.ep)->node();
+  const net::NodeId rsub_node = bus_->find(reader_side_.ep)->node();
+
+  auto round = [&](const std::string& type)
+      -> des::Task<std::pair<std::vector<ev::Message>,
+                             std::vector<ev::Message>>> {
+    // Coordinator -> sub-coordinator hops (point-to-point, cheap).
+    co_await net.transfer(coord_node, wsub_node, 256);
+    co_await net.transfer(coord_node, rsub_node, 256);
+    std::vector<ev::Message> wr, rr;
+    auto pw = spawn(sim, side_round(this,
+                                    fan_gather(writer_side_.ep,
+                                               writer_side_.members, type,
+                                               token),
+                                    &wr));
+    auto pr = spawn(sim, side_round(this,
+                                    fan_gather(reader_side_.ep,
+                                               reader_side_.members, type,
+                                               token),
+                                    &rr));
+    co_await pw;
+    co_await pr;
+    // Sub-coordinator -> coordinator reports.
+    co_await net.transfer(wsub_node, coord_node, 256);
+    co_await net.transfer(rsub_node, coord_node, 256);
+    co_return std::make_pair(std::move(wr), std::move(rr));
+  };
+
+  TxnResult result;
+  result.rounds = 3;
+
+  // Round 1: begin.
+  auto [bw, br] = co_await round(kBeginMsg);
+  bool all_present = bw.size() == writer_side_.members.size() &&
+                     br.size() == reader_side_.members.size();
+
+  // Round 2: vote (skipped when begin already failed).
+  bool all_yes = all_present;
+  if (all_present) {
+    auto [vw, vr] = co_await round(kVoteMsg);
+    auto count_yes = [](const std::vector<ev::Message>& v) {
+      std::size_t n = 0;
+      for (const auto& m : v) {
+        if (m.type == "TXN_VOTE_YES") ++n;
+      }
+      return n;
+    };
+    all_yes = count_yes(vw) == writer_side_.members.size() &&
+              count_yes(vr) == reader_side_.members.size();
+  } else {
+    result.rounds = 2;
+  }
+
+  // Round 3: decide + finalize.
+  const bool commit = all_present && all_yes;
+  co_await round(commit ? kCommitMsg : kAbortMsg);
+
+  // Sub-coordinator recovery: apply the logged decision for members that
+  // died after the decision was made.
+  for (auto& m : members_) {
+    if (m.dead && !m.finished) {
+      if (m.op != nullptr) {
+        if (commit) {
+          m.op->commit();
+        } else if (m.prepared) {
+          m.op->abort();
+        }
+      }
+      m.prepared = false;
+      m.finished = true;
+    }
+  }
+
+  result.outcome = commit ? Outcome::kCommitted : Outcome::kAborted;
+  result.duration = sim.now() - start;
+  result.messages =
+      bus_->stats(ev::TrafficClass::kControl).messages - msg_base + 6;
+  // Reset per-transaction member state for reuse.
+  for (auto& m : members_) m.finished = false;
+  co_return result;
+}
+
+}  // namespace ioc::txn

@@ -1,0 +1,112 @@
+// D2T-style control transactions ("doubly distributed transactions"): the
+// participants form two groups — writers (client side) and readers (server
+// side) — each with a sub-coordinator; a top-level coordinator drives
+// begin / vote / decide / finalize rounds across both groups. The container
+// runtime wraps resource trades in these so that, under arbitrary
+// participant failures, a node removed from one container is either
+// successfully added to the other or restored — never lost or duplicated.
+//
+// Failure model: an injected failure makes a participant stop responding at
+// a chosen phase. Failures before the decision force an abort (prepared
+// operations roll back). Failures after the decision are recovered by the
+// participant's sub-coordinator, which applies the logged decision on its
+// behalf — the standard coordinator-side recovery that keeps 2PC atomic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "des/process.h"
+#include "des/time.h"
+#include "ev/bus.h"
+
+namespace ioc::txn {
+
+enum class Phase : int { kBegin = 0, kVote = 1, kDecide = 2, kNever = 99 };
+enum class Outcome { kCommitted, kAborted };
+
+/// One participant's local piece of a transaction.
+class Operation {
+ public:
+  virtual ~Operation() = default;
+  /// Reserve/validate; returning false vetoes the transaction.
+  virtual bool prepare() = 0;
+  virtual void commit() = 0;
+  virtual void abort() = 0;
+};
+
+struct FailureSpec {
+  int participant = -1;          ///< global index (writers first); -1 = none
+  Phase at = Phase::kNever;      ///< stops responding from this phase on
+};
+
+struct TxnConfig {
+  std::size_t writers = 4;
+  std::size_t readers = 2;
+  des::SimTime gather_timeout = 2 * des::kSecond;
+  FailureSpec failure;
+};
+
+struct TxnResult {
+  Outcome outcome = Outcome::kAborted;
+  des::SimTime duration = 0;
+  std::uint64_t messages = 0;  ///< control messages this transaction used
+  int rounds = 0;
+};
+
+/// Builds the participant/sub-coordinator overlay on a cluster and executes
+/// transactions against it. Each participant may carry an Operation (null =
+/// it just votes yes).
+class TxnHarness {
+ public:
+  /// Participants are placed round-robin over the cluster's nodes; the
+  /// coordinator and sub-coordinators get their own endpoints on node 0.
+  TxnHarness(ev::Bus& bus, TxnConfig cfg);
+  ~TxnHarness();
+  TxnHarness(const TxnHarness&) = delete;
+  TxnHarness& operator=(const TxnHarness&) = delete;
+
+  std::size_t participant_count() const { return members_.size(); }
+
+  /// Assign the local operation of participant `index` (writers first, then
+  /// readers). Ownership stays with the caller.
+  void set_operation(std::size_t index, Operation* op);
+
+  /// Execute one transaction across all participants.
+  des::Task<TxnResult> run();
+
+ private:
+  struct Member {
+    ev::EndpointId ep = ev::kInvalidEndpoint;
+    Operation* op = nullptr;
+    Phase dies_at = Phase::kNever;
+    bool dead = false;
+    bool prepared = false;
+    bool finished = false;  ///< applied commit/abort itself
+  };
+  struct SubCoord {
+    ev::EndpointId ep = ev::kInvalidEndpoint;
+    std::vector<std::size_t> members;  ///< indices into members_
+  };
+
+  des::Process member_loop(std::size_t index);
+  /// Fan a message out to a group and gather replies until `expect` arrive
+  /// or the timeout fires; returns the replies received.
+  des::Task<std::vector<ev::Message>> fan_gather(ev::EndpointId from,
+                                                 const std::vector<std::size_t>& members,
+                                                 const std::string& type,
+                                                 std::uint64_t token);
+
+  ev::Bus* bus_;
+  TxnConfig cfg_;
+  ev::EndpointId coord_ = ev::kInvalidEndpoint;
+  SubCoord writer_side_;
+  SubCoord reader_side_;
+  std::vector<Member> members_;
+  std::vector<des::Process> procs_;
+  std::uint64_t txn_counter_ = 0;
+};
+
+}  // namespace ioc::txn

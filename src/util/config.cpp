@@ -1,0 +1,147 @@
+#include "util/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ioc::util {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::istringstream is(s);
+  while (std::getline(is, cur, delim)) {
+    cur = trim(cur);
+    if (!cur.empty()) out.push_back(cur);
+  }
+  return out;
+}
+
+bool ConfigSection::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> ConfigSection::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConfigSection::get_or(const std::string& key,
+                                  const std::string& dflt) const {
+  auto v = get(key);
+  return v ? *v : dflt;
+}
+
+std::int64_t ConfigSection::get_int(const std::string& key,
+                                    std::int64_t dflt) const {
+  auto v = get(key);
+  if (!v) return dflt;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double ConfigSection::get_double(const std::string& key, double dflt) const {
+  auto v = get(key);
+  if (!v) return dflt;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool ConfigSection::get_bool(const std::string& key, bool dflt) const {
+  auto v = get(key);
+  if (!v) return dflt;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> ConfigSection::get_list(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return {};
+  return split(*v, ',');
+}
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream is(text);
+  std::string line;
+  std::string section_name;
+  std::map<std::string, std::string> values;
+  bool in_section = false;
+  int lineno = 0;
+
+  auto flush = [&]() {
+    if (in_section) {
+      cfg.sections_.emplace_back(section_name, std::move(values));
+      values.clear();
+    }
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Inline comments: a ';' or '#' preceded by whitespace starts a comment.
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if ((line[i] == ';' || line[i] == '#') &&
+          (i == 0 || std::isspace(static_cast<unsigned char>(line[i - 1])))) {
+        line.resize(i);
+        break;
+      }
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw std::runtime_error("config: unterminated section at line " +
+                                 std::to_string(lineno));
+      }
+      flush();
+      section_name = trim(line.substr(1, line.size() - 2));
+      in_section = true;
+      continue;
+    }
+    auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config: expected key=value at line " +
+                               std::to_string(lineno));
+    }
+    if (!in_section) {
+      throw std::runtime_error("config: key outside section at line " +
+                               std::to_string(lineno));
+    }
+    values[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+  }
+  flush();
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("config: cannot open " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse(os.str());
+}
+
+std::vector<const ConfigSection*> Config::find_all(
+    const std::string& name) const {
+  std::vector<const ConfigSection*> out;
+  for (const auto& s : sections_) {
+    if (s.name() == name) out.push_back(&s);
+  }
+  return out;
+}
+
+const ConfigSection* Config::find(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace ioc::util

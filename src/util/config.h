@@ -1,0 +1,68 @@
+// INI-style configuration parser. The global manager reads the pipeline
+// specification (container list, dependencies, SLAs) from this format, just
+// as the paper's global manager learns pipeline dependencies "through a
+// configuration file".
+//
+// Format:
+//   [section name]
+//   key = value
+//   ; comments and # comments
+//
+// Sections repeat; each [section] instance becomes its own entry, so a
+// pipeline file lists one [container] block per stage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ioc::util {
+
+class ConfigSection {
+ public:
+  ConfigSection(std::string name, std::map<std::string, std::string> values)
+      : name_(std::move(name)), values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  bool has(const std::string& key) const;
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+  /// Comma-separated list value.
+  std::vector<std::string> get_list(const std::string& key) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> values_;
+};
+
+class Config {
+ public:
+  /// Parse from text. Throws std::runtime_error on malformed input.
+  static Config parse(const std::string& text);
+  /// Parse a file on disk.
+  static Config load(const std::string& path);
+
+  const std::vector<ConfigSection>& sections() const { return sections_; }
+  /// All sections with the given name, in file order.
+  std::vector<const ConfigSection*> find_all(const std::string& name) const;
+  /// First section with the given name, or nullptr.
+  const ConfigSection* find(const std::string& name) const;
+
+ private:
+  std::vector<ConfigSection> sections_;
+};
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+/// Split on a delimiter, trimming each piece; empty pieces dropped.
+std::vector<std::string> split(const std::string& s, char delim);
+
+}  // namespace ioc::util

@@ -1,0 +1,32 @@
+// FNV-1a hashing for the soft-error-detection data hashes the container
+// control plane can enable on a component's output (paper Section III-D:
+// "being able to add hashes of the data to the output for soft error
+// detection").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ioc::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t fnv1a(const void* data, std::size_t len,
+                           std::uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <class T>
+std::uint64_t fnv1a_value(const T& v, std::uint64_t seed = kFnvOffset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a(&v, sizeof(T), seed);
+}
+
+}  // namespace ioc::util

@@ -1,0 +1,40 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace ioc::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::string (*g_time_source)() = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+void set_log_time_source(std::string (*fn)()) { g_time_source = fn; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  if (g_time_source != nullptr) {
+    std::fprintf(stderr, "[%s %s] %s\n", level_name(level),
+                 g_time_source().c_str(), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
+}
+}  // namespace detail
+
+}  // namespace ioc::util

@@ -1,0 +1,52 @@
+// Minimal leveled logger. The library runs single-threaded (the DES owns the
+// only thread of control), so no locking is required.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ioc::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Optional prefix printed on every line, e.g. the current virtual time.
+/// The DES installs a callback here so log lines carry simulation time.
+void set_log_time_source(std::string (*fn)());
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace ioc::util
+
+#define IOC_LOG(level)                                   \
+  if (::ioc::util::log_level() <= ::ioc::util::level)    \
+  ::ioc::util::LogLine(::ioc::util::level)
+
+#define IOC_TRACE IOC_LOG(LogLevel::kTrace)
+#define IOC_DEBUG IOC_LOG(LogLevel::kDebug)
+#define IOC_INFO IOC_LOG(LogLevel::kInfo)
+#define IOC_WARN IOC_LOG(LogLevel::kWarn)
+#define IOC_ERROR IOC_LOG(LogLevel::kError)

@@ -1,0 +1,46 @@
+// Deterministic random-number generation. Every stochastic model in the
+// library (aprun launch cost, jitter, failure injection) draws from an Rng
+// seeded explicitly, so simulation runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace ioc::util {
+
+/// splitmix64: tiny, fast, and statistically solid for simulation use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Derive an independent stream; useful to give each model its own RNG
+  /// without coupling their consumption patterns.
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ioc::util

@@ -1,0 +1,36 @@
+// Aligned console tables and CSV emission for the benchmark harnesses.
+// Every figure/table bench prints through this so output is uniform and
+// machine-parseable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ioc::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(long long v);
+
+  /// Render as an aligned text table.
+  std::string to_string() const;
+  /// Render as CSV (headers first).
+  std::string to_csv() const;
+  /// Print the aligned table to stdout with an optional caption.
+  void print(const std::string& caption = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ioc::util

@@ -1,0 +1,25 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace ioc::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= GB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB",
+                  static_cast<double>(bytes) / static_cast<double>(GB));
+  } else if (bytes >= MB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB",
+                  static_cast<double>(bytes) / static_cast<double>(MB));
+  } else if (bytes >= KB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB",
+                  static_cast<double>(bytes) / static_cast<double>(KB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace ioc::util

@@ -1,0 +1,21 @@
+// Byte-size and SI-unit helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ioc::util {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+// Decimal units, used when matching the paper's "67 MB" style figures.
+inline constexpr std::uint64_t KB = 1000ull;
+inline constexpr std::uint64_t MB = 1000ull * KB;
+inline constexpr std::uint64_t GB = 1000ull * MB;
+
+/// Render a byte count as a human-readable decimal string ("134.6 MB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace ioc::util

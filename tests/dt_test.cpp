@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "des/process.h"
+#include "des/simulator.h"
+#include "dt/stream.h"
+#include "net/cluster.h"
+#include "net/network.h"
+#include "util/units.h"
+
+namespace ioc::dt {
+namespace {
+
+using des::SimTime;
+using des::kSecond;
+
+struct DtFixture {
+  des::Simulator sim;
+  net::Cluster cluster{sim, 8};
+  net::Network net{cluster};
+};
+
+des::Process writer_n(Stream& s, int n, std::uint64_t bytes,
+                      des::Simulator& sim, SimTime gap = 0) {
+  for (int i = 0; i < n; ++i) {
+    if (gap > 0) co_await des::delay(sim, gap);
+    StepData d;
+    d.step = static_cast<std::uint64_t>(i);
+    d.bytes = bytes;
+    d.created = sim.now();
+    co_await s.write(std::move(d));
+  }
+  s.close();
+}
+
+des::Process reader_loop(Stream& s, net::NodeId node,
+                         std::vector<std::uint64_t>* steps) {
+  while (auto d = co_await s.read(node)) {
+    steps->push_back(d->step);
+  }
+}
+
+TEST(Stream, DeliversAllStepsInOrderSingleReader) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  std::vector<std::uint64_t> got;
+  spawn(f.sim, writer_n(s, 10, 1 * util::MB, f.sim));
+  spawn(f.sim, reader_loop(s, 1, &got));
+  f.sim.run();
+  ASSERT_EQ(got.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_EQ(s.steps_written(), 10u);
+  EXPECT_EQ(s.steps_delivered(), 10u);
+  EXPECT_EQ(s.buffered_bytes(), 0u);
+}
+
+TEST(Stream, MultipleReplicasPartitionTheStream) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  std::vector<std::uint64_t> r1, r2;
+  spawn(f.sim, writer_n(s, 20, 1 * util::MB, f.sim));
+  spawn(f.sim, reader_loop(s, 1, &r1));
+  spawn(f.sim, reader_loop(s, 2, &r2));
+  f.sim.run();
+  EXPECT_EQ(r1.size() + r2.size(), 20u);
+  // No duplicates across replicas.
+  std::vector<bool> seen(20, false);
+  for (auto v : r1) seen[v] = true;
+  for (auto v : r2) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Stream, AsyncWriteDoesNotWaitForDelivery) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  SimTime writer_done = -1;
+  auto w = [](Stream& s, SimTime* done, des::Simulator& sim) -> des::Process {
+    for (int i = 0; i < 5; ++i) {
+      StepData d;
+      d.step = i;
+      d.bytes = 100 * util::MB;  // 50 ms wire time each
+      co_await s.write(std::move(d));
+    }
+    *done = sim.now();
+    s.close();
+  };
+  std::vector<std::uint64_t> got;
+  spawn(f.sim, w(s, &writer_done, f.sim));
+  spawn(f.sim, reader_loop(s, 1, &got));
+  f.sim.run();
+  EXPECT_EQ(writer_done, 0);  // buffering is free for the writer
+  EXPECT_EQ(got.size(), 5u);
+  EXPECT_GT(f.sim.now(), des::from_seconds(0.2));  // pulls took real time
+}
+
+TEST(Stream, SyncWriteWaitsForDelivery) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  SimTime writer_done = -1;
+  auto w = [](Stream& s, SimTime* done, des::Simulator& sim) -> des::Process {
+    StepData d;
+    d.step = 0;
+    d.bytes = 100 * util::MB;
+    co_await s.write_sync(std::move(d));
+    *done = sim.now();
+    s.close();
+  };
+  std::vector<std::uint64_t> got;
+  spawn(f.sim, w(s, &writer_done, f.sim));
+  spawn(f.sim, reader_loop(s, 1, &got));
+  f.sim.run();
+  EXPECT_GE(writer_done, des::from_seconds(0.05));
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(Stream, BoundedBufferBlocksWriter) {
+  DtFixture f;
+  StreamConfig cfg;
+  cfg.buffer_capacity = 2 * util::MB;
+  Stream s(f.net, 0, cfg);
+  std::vector<std::uint64_t> got;
+  spawn(f.sim, writer_n(s, 10, 1 * util::MB, f.sim));
+  // Reader starts late: writer must block after two buffered steps.
+  auto late_reader = [](Stream& s, des::Simulator& sim,
+                        std::vector<std::uint64_t>* out) -> des::Process {
+    co_await des::delay(sim, 1 * kSecond);
+    while (auto d = co_await s.read(1)) out->push_back(d->step);
+  };
+  spawn(f.sim, late_reader(s, f.sim, &got));
+  f.sim.run();
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_GT(s.total_block_seconds(), 0.9);
+}
+
+des::Process pause_then_resume(Stream& s, des::Simulator& sim,
+                               SimTime* paused_at, SimTime resume_at) {
+  co_await s.pause();
+  *paused_at = sim.now();
+  EXPECT_TRUE(s.paused());
+  co_await des::delay(sim, resume_at - sim.now());
+  s.resume();
+}
+
+TEST(Stream, PauseWaitsForInFlightPulls) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  std::vector<std::uint64_t> got;
+  // Large step: pull takes ~0.5 s.
+  spawn(f.sim, writer_n(s, 4, 1000 * util::MB, f.sim));
+  spawn(f.sim, reader_loop(s, 1, &got));
+  SimTime paused_at = -1;
+  auto trigger = [](Stream& s, des::Simulator& sim, SimTime* paused_at)
+      -> des::Process {
+    co_await des::delay(sim, des::from_seconds(0.1));  // mid-pull
+    co_await spawn(sim, pause_then_resume(s, sim, paused_at,
+                                          5 * kSecond));
+  };
+  spawn(f.sim, trigger(s, f.sim, &paused_at));
+  f.sim.run();
+  // The pause had to wait for the in-flight pull (~0.5 s) to drain.
+  EXPECT_GE(paused_at, des::from_seconds(0.5));
+  // After resume everything still arrives.
+  EXPECT_EQ(got.size(), 4u);
+}
+
+TEST(Stream, NoDeliveriesWhilePaused) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  std::vector<std::uint64_t> got;
+  auto w = [](Stream& s, des::Simulator& sim) -> des::Process {
+    co_await spawn(sim, [](Stream& s, des::Simulator& sim) -> des::Process {
+      co_await s.pause();
+      (void)sim;
+    }(s, sim));
+    // Write while paused: must buffer, not deliver.
+    for (int i = 0; i < 3; ++i) {
+      StepData d;
+      d.step = i;
+      d.bytes = util::MB;
+      co_await s.write(std::move(d));
+    }
+    co_await des::delay(sim, 2 * kSecond);
+    EXPECT_EQ(s.steps_delivered(), 0u);
+    EXPECT_EQ(s.backlog(), 3u);
+    s.resume();
+    co_await des::delay(sim, 2 * kSecond);
+    s.close();
+  };
+  spawn(f.sim, w(s, f.sim));
+  spawn(f.sim, reader_loop(s, 1, &got));
+  f.sim.run();
+  EXPECT_EQ(got.size(), 3u);
+}
+
+TEST(Stream, PauseWithNothingInFlightIsImmediate) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  SimTime paused_at = -1;
+  auto p = [](Stream& s, des::Simulator& sim, SimTime* t) -> des::Process {
+    co_await s.pause();
+    *t = sim.now();
+  };
+  spawn(f.sim, p(s, f.sim, &paused_at));
+  f.sim.run();
+  EXPECT_EQ(paused_at, 0);
+  EXPECT_TRUE(s.paused());
+}
+
+TEST(Stream, CloseEndsReaders) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  std::vector<std::uint64_t> got;
+  spawn(f.sim, reader_loop(s, 1, &got));
+  f.sim.run();
+  EXPECT_TRUE(got.empty());
+  s.close();
+  f.sim.run();
+  // reader_loop exited; nothing hangs (run() returned).
+  EXPECT_TRUE(f.sim.empty());
+}
+
+TEST(Stream, ScheduledPullsSerializeBulkTransfers) {
+  // Two replicas pulling concurrently: with scheduling the pulls serialize on
+  // the stream's pull slot; without, they contend at the writer NIC anyway
+  // but metadata+data interleave. Scheduled total contention wait must be
+  // lower (that is DataStager's claim).
+  auto run = [](bool scheduled) {
+    DtFixture f;
+    StreamConfig cfg;
+    cfg.scheduled_pulls = scheduled;
+    Stream s(f.net, 0, cfg);
+    std::vector<std::uint64_t> r1, r2;
+    spawn(f.sim, writer_n(s, 8, 500 * util::MB, f.sim));
+    spawn(f.sim, reader_loop(s, 1, &r1));
+    spawn(f.sim, reader_loop(s, 2, &r2));
+    f.sim.run();
+    return f.net.contention_wait().sum();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(Stream, BacklogHighWatermarkTracksBurst) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  for (int i = 0; i < 5; ++i) {
+    auto w = [](Stream& s, int i) -> des::Process {
+      StepData d;
+      d.step = i;
+      d.bytes = util::MB;
+      co_await s.write(std::move(d));
+    };
+    spawn(f.sim, w(s, i));
+  }
+  f.sim.run();
+  EXPECT_EQ(s.backlog(), 5u);
+  EXPECT_EQ(s.backlog_high_watermark(), 5u);
+  s.close();
+  std::vector<std::uint64_t> got;
+  spawn(f.sim, reader_loop(s, 1, &got));
+  f.sim.run();
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(Stream, DeliveryLatencyMeasured) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  std::vector<std::uint64_t> got;
+  spawn(f.sim, writer_n(s, 3, 200 * util::MB, f.sim));
+  spawn(f.sim, reader_loop(s, 1, &got));
+  f.sim.run();
+  EXPECT_EQ(s.delivery_latency().count(), 3u);
+  EXPECT_GT(s.delivery_latency().mean(), 0.0);
+}
+
+TEST(Stream, WriteAfterCloseFails) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  s.close();
+  bool ok = true;
+  auto w = [](Stream& s, bool* ok) -> des::Process {
+    StepData d;
+    d.bytes = 1;
+    *ok = co_await s.write(std::move(d));
+  };
+  spawn(f.sim, w(s, &ok));
+  f.sim.run();
+  EXPECT_FALSE(ok);
+}
+
+des::Process cancellable_reader(Stream& s, des::Event& cancel,
+                                std::optional<std::uint64_t>* got,
+                                bool* returned) {
+  auto d = co_await s.read(1, &cancel);
+  *got = d.has_value() ? std::optional<std::uint64_t>(d->step) : std::nullopt;
+  *returned = true;
+}
+
+TEST(Stream, CancelWakesBlockedReader) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  des::Event cancel(f.sim);
+  std::optional<std::uint64_t> got;
+  bool returned = false;
+  spawn(f.sim, cancellable_reader(s, cancel, &got, &returned));
+  f.sim.run();
+  EXPECT_FALSE(returned);  // blocked: nothing to read
+  cancel.set();
+  s.kick();
+  f.sim.run();
+  EXPECT_TRUE(returned);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Stream, CancelSetBeforeReadReturnsImmediately) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  des::Event cancel(f.sim);
+  cancel.set();
+  std::optional<std::uint64_t> got;
+  bool returned = false;
+  // Even with data buffered, a pre-set cancel wins.
+  spawn(f.sim, writer_n(s, 1, util::MB, f.sim));
+  spawn(f.sim, cancellable_reader(s, cancel, &got, &returned));
+  f.sim.run();
+  EXPECT_TRUE(returned);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(s.backlog(), 1u);  // the step stays for a live replica
+}
+
+TEST(Stream, IngressTimestampSetOnAdmission) {
+  DtFixture f;
+  Stream s(f.net, 0);
+  std::vector<std::uint64_t> ingress;
+  auto w = [](Stream& s, des::Simulator& sim) -> des::Process {
+    co_await des::delay(sim, 7 * kSecond);
+    StepData d;
+    d.step = 0;
+    d.bytes = util::MB;
+    co_await s.write(std::move(d));
+    s.close();
+  };
+  auto r = [](Stream& s, std::vector<std::uint64_t>* out) -> des::Process {
+    while (auto d = co_await s.read(1)) {
+      out->push_back(static_cast<std::uint64_t>(d->ingress));
+    }
+  };
+  spawn(f.sim, w(s, f.sim));
+  spawn(f.sim, r(s, &ingress));
+  f.sim.run();
+  ASSERT_EQ(ingress.size(), 1u);
+  EXPECT_EQ(ingress[0], static_cast<std::uint64_t>(7 * kSecond));
+}
+
+}  // namespace
+}  // namespace ioc::dt

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "md/lattice.h"
+#include "sp/bonds.h"
+#include "sp/fragments.h"
+
+namespace ioc::sp {
+namespace {
+
+/// Two well-separated clusters in a big box.
+md::AtomData two_clusters() {
+  md::AtomData atoms;
+  atoms.box.hi = {100, 100, 100};
+  std::int64_t id = 0;
+  for (int i = 0; i < 4; ++i) {
+    atoms.add(id++, {10.0 + i * 1.0, 10, 10});
+  }
+  for (int i = 0; i < 3; ++i) {
+    atoms.add(id++, {60.0 + i * 1.0, 60, 60});
+  }
+  return atoms;
+}
+
+TEST(Fragments, DetectsConnectedComponents) {
+  auto atoms = two_clusters();
+  auto adj = BondAnalysis({1.3}).compute(atoms);
+  auto set = find_fragments(atoms, adj);
+  ASSERT_EQ(set.count(), 2u);
+  EXPECT_EQ(set.fragments[0].size(), 4u);  // sorted by size
+  EXPECT_EQ(set.fragments[1].size(), 3u);
+  // Membership map is consistent.
+  for (const auto& f : set.fragments) {
+    for (auto idx : f.atoms) EXPECT_EQ(set.atom_fragment[idx], f.id);
+  }
+}
+
+TEST(Fragments, PerfectCrystalIsOneFragment) {
+  auto atoms = md::make_fcc(4, 4, 4, md::kLjFccLatticeConstant);
+  auto adj = BondAnalysis().compute(atoms);
+  auto set = find_fragments(atoms, adj);
+  ASSERT_EQ(set.count(), 1u);
+  EXPECT_EQ(set.largest()->size(), atoms.size());
+}
+
+TEST(Fragments, IsolatedAtomsAreSingletons) {
+  md::AtomData atoms;
+  atoms.box.hi = {100, 100, 100};
+  atoms.add(0, {10, 10, 10});
+  atoms.add(1, {50, 50, 50});
+  auto adj = BondAnalysis({1.3}).compute(atoms);
+  auto set = find_fragments(atoms, adj);
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_EQ(set.fragments[0].size(), 1u);
+}
+
+TEST(Fragments, CentroidHandlesPeriodicWrap) {
+  md::AtomData atoms;
+  atoms.box.hi = {20, 20, 20};
+  // A two-atom fragment straddling the x boundary.
+  atoms.add(0, {19.5, 5, 5});
+  atoms.add(1, {0.5, 5, 5});
+  auto adj = BondAnalysis({1.3}).compute(atoms);
+  auto set = find_fragments(atoms, adj);
+  ASSERT_EQ(set.count(), 1u);
+  const double cx = set.fragments[0].centroid.x;
+  // Correct wrap-aware centroid is at x = 0 (== 20), not at x = 10.
+  EXPECT_TRUE(cx < 1.0 || cx > 19.0) << "centroid.x = " << cx;
+}
+
+TEST(FragmentTracker, StableIdsAcrossSteps) {
+  auto atoms = two_clusters();
+  auto adj = BondAnalysis({1.3}).compute(atoms);
+  FragmentTracker tracker;
+  auto s1 = find_fragments(atoms, adj);
+  auto ev1 = tracker.track(atoms, s1);
+  EXPECT_TRUE(ev1.empty());  // first step: no history to compare
+  const auto id_big = s1.fragments[0].id;
+  const auto id_small = s1.fragments[1].id;
+
+  // Nothing moves: ids persist, no events.
+  auto s2 = find_fragments(atoms, adj);
+  auto ev2 = tracker.track(atoms, s2);
+  EXPECT_TRUE(ev2.empty());
+  EXPECT_EQ(s2.fragments[0].id, id_big);
+  EXPECT_EQ(s2.fragments[1].id, id_small);
+}
+
+TEST(FragmentTracker, DetectsSplit) {
+  auto atoms = two_clusters();
+  auto adj = BondAnalysis({1.3}).compute(atoms);
+  FragmentTracker tracker;
+  auto s1 = find_fragments(atoms, adj);
+  tracker.track(atoms, s1);
+  const auto id_big = s1.fragments[0].id;
+
+  // Pull the big cluster apart in the middle.
+  atoms.pos[1].x = 10.0;
+  atoms.pos[0].x = 9.0;
+  atoms.pos[2].x = 30.0;
+  atoms.pos[3].x = 31.0;
+  auto adj2 = BondAnalysis({1.3}).compute(atoms);
+  auto s2 = find_fragments(atoms, adj2);
+  auto ev = tracker.track(atoms, s2);
+  ASSERT_EQ(s2.count(), 3u);
+  bool split_seen = false;
+  for (const auto& e : ev) {
+    if (e.kind == FragmentEvent::Kind::kSplit) {
+      split_seen = true;
+      ASSERT_EQ(e.parents.size(), 1u);
+      EXPECT_EQ(e.parents[0], id_big);
+    }
+  }
+  EXPECT_TRUE(split_seen);
+}
+
+TEST(FragmentTracker, DetectsMerge) {
+  auto atoms = two_clusters();
+  auto adj = BondAnalysis({1.3}).compute(atoms);
+  FragmentTracker tracker;
+  auto s1 = find_fragments(atoms, adj);
+  tracker.track(atoms, s1);
+
+  // Move the small cluster adjacent to the big one.
+  for (int i = 4; i < 7; ++i) {
+    atoms.pos[i] = {14.0 + (i - 4) * 1.0, 10, 10};
+  }
+  auto adj2 = BondAnalysis({1.3}).compute(atoms);
+  auto s2 = find_fragments(atoms, adj2);
+  auto ev = tracker.track(atoms, s2);
+  ASSERT_EQ(s2.count(), 1u);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].kind, FragmentEvent::Kind::kMerged);
+  EXPECT_EQ(ev[0].parents.size(), 2u);
+}
+
+TEST(FragmentTracker, DetectsAppearAndVanish) {
+  md::AtomData atoms;
+  atoms.box.hi = {100, 100, 100};
+  atoms.add(0, {10, 10, 10});
+  atoms.add(1, {11, 10, 10});
+  auto adj = BondAnalysis({1.3}).compute(atoms);
+  FragmentTracker tracker;
+  auto s1 = find_fragments(atoms, adj);
+  tracker.track(atoms, s1);
+  const auto old_id = s1.fragments[0].id;
+
+  // The old pair evaporates (removed); a brand new pair appears elsewhere.
+  md::AtomData atoms2;
+  atoms2.box.hi = {100, 100, 100};
+  atoms2.add(7, {50, 50, 50});
+  atoms2.add(8, {51, 50, 50});
+  auto adj2 = BondAnalysis({1.3}).compute(atoms2);
+  auto s2 = find_fragments(atoms2, adj2);
+  auto ev = tracker.track(atoms2, s2);
+  bool appeared = false, vanished = false;
+  for (const auto& e : ev) {
+    if (e.kind == FragmentEvent::Kind::kAppeared) appeared = true;
+    if (e.kind == FragmentEvent::Kind::kVanished && e.id == old_id) {
+      vanished = true;
+    }
+  }
+  EXPECT_TRUE(appeared);
+  EXPECT_TRUE(vanished);
+  EXPECT_NE(s2.fragments[0].id, old_id);
+}
+
+TEST(FragmentTracker, CrackProducesFragmentsEventually) {
+  // End-to-end with the real substrate: strain a thin notched slab until
+  // the bond graph separates, then confirm the tracker reports the split.
+  auto atoms = md::make_fcc(8, 3, 2, md::kLjFccLatticeConstant);
+  BondAnalysis bonds({1.15});  // tight cutoff: strain breaks bonds sooner
+  FragmentTracker tracker;
+  auto s0 = find_fragments(atoms, bonds.compute(atoms));
+  tracker.track(atoms, s0);
+  EXPECT_EQ(s0.count(), 1u);
+
+  // Stretch the middle apart (an idealized crack opening). The box grows by
+  // twice the gap so the slab also separates at the periodic seam —
+  // otherwise it would stay connected "around the back".
+  const double mid = 0.5 * atoms.box.hi.x;
+  atoms.box.hi.x += 8.0;
+  for (auto& p : atoms.pos) {
+    if (p.x > mid) p.x += 4.0;
+  }
+  auto s1 = find_fragments(atoms, bonds.compute(atoms));
+  auto ev = tracker.track(atoms, s1);
+  EXPECT_GE(s1.count(), 2u);
+  bool split_seen = false;
+  for (const auto& e : ev) {
+    split_seen = split_seen || e.kind == FragmentEvent::Kind::kSplit;
+  }
+  EXPECT_TRUE(split_seen);
+}
+
+TEST(FragmentEventNames, AllNamed) {
+  EXPECT_STREQ(fragment_event_name(FragmentEvent::Kind::kSplit), "split");
+  EXPECT_STREQ(fragment_event_name(FragmentEvent::Kind::kMerged), "merged");
+  EXPECT_STREQ(fragment_event_name(FragmentEvent::Kind::kAppeared),
+               "appeared");
+  EXPECT_STREQ(fragment_event_name(FragmentEvent::Kind::kVanished),
+               "vanished");
+  EXPECT_STREQ(fragment_event_name(FragmentEvent::Kind::kContinued),
+               "continued");
+}
+
+}  // namespace
+}  // namespace ioc::sp

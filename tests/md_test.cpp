@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "md/atoms.h"
+#include "md/cells.h"
+#include "md/force_lj.h"
+#include "md/lattice.h"
+#include "md/sim.h"
+#include "md/workload.h"
+#include "util/units.h"
+
+namespace ioc::md {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ((a + b).x, 5);
+  EXPECT_DOUBLE_EQ((b - a).z, 3);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32);
+  EXPECT_DOUBLE_EQ((a * 2).y, 4);
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}.norm()), 5);
+}
+
+TEST(Box, MinImageWrapsAcrossBoundary) {
+  Box box;
+  box.hi = {10, 10, 10};
+  Vec3 a{9.5, 5, 5}, b{0.5, 5, 5};
+  Vec3 d = box.min_image(a, b);
+  EXPECT_NEAR(d.x, -1.0, 1e-12);
+  EXPECT_NEAR(d.norm(), 1.0, 1e-12);
+}
+
+TEST(Box, WrapPutsPositionsInside) {
+  Box box;
+  box.hi = {10, 10, 10};
+  Vec3 p = box.wrap({12.5, -0.5, 5});
+  EXPECT_NEAR(p.x, 2.5, 1e-12);
+  EXPECT_NEAR(p.y, 9.5, 1e-12);
+  EXPECT_NEAR(p.z, 5.0, 1e-12);
+}
+
+TEST(Lattice, FccCountsAndBox) {
+  auto atoms = make_fcc(3, 4, 5, 1.5);
+  EXPECT_EQ(atoms.size(), 3u * 4 * 5 * 4);
+  EXPECT_DOUBLE_EQ(atoms.box.hi.x, 4.5);
+  EXPECT_DOUBLE_EQ(atoms.box.hi.y, 6.0);
+  // Unique ids.
+  std::set<std::int64_t> ids(atoms.id.begin(), atoms.id.end());
+  EXPECT_EQ(ids.size(), atoms.size());
+}
+
+TEST(Lattice, FccNearestNeighborDistance) {
+  const double a = kLjFccLatticeConstant;
+  auto atoms = make_fcc(4, 4, 4, a);
+  // Every atom in a periodic FCC crystal has 12 neighbors at a/sqrt(2).
+  const double nn = a / std::sqrt(2.0);
+  CellList cl(atoms.box, nn * 1.1);
+  cl.build(atoms.pos);
+  auto nl = cl.neighbor_lists(atoms.pos);
+  for (const auto& l : nl) EXPECT_EQ(l.size(), 12u);
+}
+
+TEST(CellList, MatchesNaiveEnumeration) {
+  auto atoms = make_fcc(4, 4, 4, 1.5496);
+  const double cutoff = 1.7;
+  CellList cl(atoms.box, cutoff);
+  ASSERT_TRUE(cl.using_cells());
+  cl.build(atoms.pos);
+  std::set<std::pair<std::size_t, std::size_t>> cell_pairs;
+  cl.for_each_pair(atoms.pos, [&](std::size_t i, std::size_t j, double) {
+    cell_pairs.insert({std::min(i, j), std::max(i, j)});
+  });
+  // Naive reference.
+  std::set<std::pair<std::size_t, std::size_t>> naive_pairs;
+  const double rc2 = cutoff * cutoff;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+      if (atoms.box.min_image(atoms.pos[i], atoms.pos[j]).norm2() <= rc2) {
+        naive_pairs.insert({i, j});
+      }
+    }
+  }
+  EXPECT_EQ(cell_pairs, naive_pairs);
+}
+
+TEST(CellList, SmallBoxFallsBackToNaive) {
+  auto atoms = make_fcc(2, 2, 2, 1.5);
+  CellList cl(atoms.box, 1.7);
+  EXPECT_FALSE(cl.using_cells());
+  cl.build(atoms.pos);
+  int pairs = 0;
+  cl.for_each_pair(atoms.pos, [&](std::size_t, std::size_t, double) { ++pairs; });
+  EXPECT_GT(pairs, 0);
+}
+
+TEST(LjForce, PerfectLatticeHasNearZeroNetForce) {
+  auto atoms = make_fcc(4, 4, 4, kLjFccLatticeConstant);
+  LjForce lj;
+  auto res = lj.compute(atoms);
+  EXPECT_LT(res.potential_energy, 0);  // bound crystal
+  for (const auto& f : atoms.force) {
+    EXPECT_NEAR(f.norm(), 0.0, 1e-9);  // symmetric environment
+  }
+}
+
+TEST(LjForce, NewtonThirdLawPairwise) {
+  AtomData atoms;
+  atoms.box.hi = {20, 20, 20};
+  atoms.add(0, {5, 5, 5});
+  atoms.add(1, {6.3, 5, 5});  // r = 1.3 > 2^{1/6}: attractive regime
+  LjForce lj;
+  lj.compute(atoms);
+  EXPECT_NEAR(atoms.force[0].x, -atoms.force[1].x, 1e-12);
+  EXPECT_NEAR(atoms.force[0].y, 0.0, 1e-12);
+  // Attractive: atom 0 pulled toward atom 1 (+x).
+  EXPECT_GT(atoms.force[0].x, 0.0);
+}
+
+TEST(LjForce, RepulsiveInsideMinimum) {
+  AtomData atoms;
+  atoms.box.hi = {20, 20, 20};
+  atoms.add(0, {5, 5, 5});
+  atoms.add(1, {5.9, 5, 5});  // r < 2^{1/6}
+  LjForce lj;
+  lj.compute(atoms);
+  EXPECT_LT(atoms.force[0].x, 0.0);  // pushed apart
+}
+
+TEST(MdSim, EnergyConservedWithoutThermostat) {
+  MdConfig cfg;
+  cfg.thermostat_every = 0;
+  cfg.dt = 0.002;
+  cfg.target_temperature = 0.05;
+  MdSim sim(make_fcc(4, 4, 4, kLjFccLatticeConstant), cfg, 42);
+  sim.initialize_velocities();
+  const double e0 = sim.total_energy();
+  sim.run(200);
+  const double e1 = sim.total_energy();
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 1e-4);
+}
+
+TEST(MdSim, ThermostatHoldsTemperature) {
+  MdConfig cfg;
+  cfg.thermostat_every = 10;
+  cfg.target_temperature = 0.1;
+  MdSim sim(make_fcc(4, 4, 4, kLjFccLatticeConstant), cfg, 7);
+  sim.initialize_velocities();
+  sim.run(200);
+  EXPECT_NEAR(sim.current_temperature(), 0.1, 0.05);
+}
+
+TEST(MdSim, StrainElongatesBox) {
+  MdConfig cfg;
+  cfg.strain_rate = 0.01;
+  cfg.thermostat_every = 0;
+  MdSim sim(make_fcc(4, 4, 4, kLjFccLatticeConstant), cfg, 1);
+  const double x0 = sim.atoms().box.hi.x;
+  sim.run(100);
+  EXPECT_GT(sim.atoms().box.hi.x, x0);
+  EXPECT_GT(sim.applied_strain(), 0.0);
+}
+
+TEST(MdSim, NotchRemovesAtoms) {
+  MdSim sim(make_fcc(6, 6, 4, kLjFccLatticeConstant));
+  const std::size_t before = sim.atoms().size();
+  const double hx = sim.atoms().box.hi.x;
+  const std::size_t removed = sim.carve_notch(0.0, hx * 0.4, 1.2);
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(sim.atoms().size(), before - removed);
+}
+
+TEST(MdSim, CheckpointRestoreIsExact) {
+  MdConfig cfg;
+  MdSim sim(make_fcc(3, 3, 3, kLjFccLatticeConstant), cfg, 5);
+  sim.initialize_velocities();
+  sim.run(17);
+  auto blob = sim.checkpoint();
+  MdSim copy = MdSim::restore(blob, cfg);
+  ASSERT_EQ(copy.atoms().size(), sim.atoms().size());
+  EXPECT_EQ(copy.steps_done(), sim.steps_done());
+  for (std::size_t i = 0; i < sim.atoms().size(); ++i) {
+    EXPECT_EQ(copy.atoms().pos[i].x, sim.atoms().pos[i].x);
+    EXPECT_EQ(copy.atoms().vel[i].z, sim.atoms().vel[i].z);
+  }
+  // Both continue identically.
+  sim.run(5);
+  copy.run(5);
+  for (std::size_t i = 0; i < sim.atoms().size(); ++i) {
+    EXPECT_EQ(copy.atoms().pos[i].x, sim.atoms().pos[i].x);
+  }
+}
+
+TEST(MdSim, RestoreRejectsTruncatedBlob) {
+  MdSim sim(make_fcc(2, 2, 2, 1.5496));
+  auto blob = sim.checkpoint();
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(MdSim::restore(blob, MdConfig{}), std::runtime_error);
+}
+
+TEST(AtomData, RemoveIfCompacts) {
+  AtomData a;
+  a.box.hi = {10, 10, 10};
+  for (int i = 0; i < 5; ++i) a.add(i, {double(i), 0, 0});
+  a.remove_if({false, true, false, true, false});
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.id[0], 0);
+  EXPECT_EQ(a.id[1], 2);
+  EXPECT_EQ(a.id[2], 4);
+}
+
+TEST(Workload, MatchesTableII) {
+  // Paper rows reproduced exactly.
+  auto p256 = WorkloadModel::point(256);
+  EXPECT_EQ(p256.atoms, 8'819'989u);
+  EXPECT_NEAR(static_cast<double>(p256.bytes_per_step) / util::MiB, 67.3, 0.4);
+  auto p512 = WorkloadModel::point(512);
+  EXPECT_EQ(p512.atoms, 17'639'979u);
+  EXPECT_NEAR(static_cast<double>(p512.bytes_per_step) / util::MiB, 134.6, 0.4);
+  auto p1024 = WorkloadModel::point(1024);
+  EXPECT_EQ(p1024.atoms, 35'279'958u);
+  EXPECT_NEAR(static_cast<double>(p1024.bytes_per_step) / util::MiB, 269.2,
+              0.5);
+  // Interpolation behaves sensibly off the table.
+  auto p128 = WorkloadModel::point(128);
+  EXPECT_NEAR(static_cast<double>(p128.atoms), 8'819'989.0 / 2, 64.0);
+}
+
+TEST(MdSim, VelocityInitHasZeroNetMomentum) {
+  MdSim sim(make_fcc(4, 4, 4, kLjFccLatticeConstant), MdConfig{}, 9);
+  sim.initialize_velocities();
+  Vec3 net{};
+  for (const auto& v : sim.atoms().vel) net += v;
+  EXPECT_NEAR(net.norm(), 0.0, 1e-9);
+  EXPECT_GT(sim.current_temperature(), 0.0);
+}
+
+TEST(MdSim, DeterministicGivenSeed) {
+  auto run = [] {
+    MdConfig cfg;
+    MdSim sim(make_fcc(3, 3, 3, kLjFccLatticeConstant), cfg, 31);
+    sim.initialize_velocities();
+    sim.run(20);
+    return sim.atoms().pos[10];
+  };
+  const Vec3 a = run();
+  const Vec3 b = run();
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.z, b.z);
+}
+
+TEST(LjForce, PairEnergyZeroBeyondCutoff) {
+  LjForce lj;
+  EXPECT_DOUBLE_EQ(lj.pair_energy(2.6 * 2.6), 0.0);
+  EXPECT_LT(lj.pair_energy(1.2 * 1.2), 0.0);   // attractive well
+  EXPECT_GT(lj.pair_energy(0.9 * 0.9), 0.0);   // repulsive core
+}
+
+}  // namespace
+}  // namespace ioc::md

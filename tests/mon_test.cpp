@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "mon/hub.h"
+#include "mon/metric.h"
+
+namespace ioc::mon {
+namespace {
+
+MetricSample lat(const std::string& src, double v, std::uint64_t step = 0) {
+  MetricSample s;
+  s.source = src;
+  s.kind = MetricKind::kLatency;
+  s.step = step;
+  s.value = v;
+  return s;
+}
+
+TEST(Hub, WindowedAverageLatency) {
+  MonitoringHub hub(3);
+  hub.ingest(lat("bonds", 10));
+  hub.ingest(lat("bonds", 20));
+  hub.ingest(lat("bonds", 30));
+  EXPECT_DOUBLE_EQ(hub.avg_latency("bonds").value(), 20.0);
+  hub.ingest(lat("bonds", 60));  // window slides: 20,30,60
+  EXPECT_NEAR(hub.avg_latency("bonds").value(), 110.0 / 3, 1e-12);
+  EXPECT_FALSE(hub.avg_latency("unknown").has_value());
+  EXPECT_EQ(hub.samples_seen(), 4u);
+}
+
+TEST(Hub, BottleneckIsMaxAverage) {
+  MonitoringHub hub(4);
+  hub.ingest(lat("helper", 2));
+  hub.ingest(lat("bonds", 25));
+  hub.ingest(lat("csym", 7));
+  EXPECT_EQ(hub.bottleneck().value(), "bonds");
+  // Restricted candidate set.
+  EXPECT_EQ(hub.bottleneck({"helper", "csym"}).value(), "csym");
+  // Unknown candidates give nothing.
+  EXPECT_FALSE(hub.bottleneck({"nope"}).has_value());
+}
+
+TEST(Hub, BottleneckEmptyWhenNoData) {
+  MonitoringHub hub;
+  EXPECT_FALSE(hub.bottleneck().has_value());
+}
+
+TEST(Hub, LastValuePerKind) {
+  MonitoringHub hub;
+  MetricSample q;
+  q.source = "bonds";
+  q.kind = MetricKind::kQueueDepth;
+  q.value = 12;
+  hub.ingest(q);
+  hub.ingest(lat("bonds", 3));
+  EXPECT_DOUBLE_EQ(hub.last_value("bonds", MetricKind::kQueueDepth), 12);
+  EXPECT_DOUBLE_EQ(hub.last_value("bonds", MetricKind::kLatency), 3);
+  EXPECT_DOUBLE_EQ(hub.last_value("bonds", MetricKind::kThroughput), 0);
+  // Queue-depth samples do not pollute the latency window.
+  EXPECT_DOUBLE_EQ(hub.avg_latency("bonds").value(), 3.0);
+}
+
+TEST(Hub, ResetClearsWindowAfterManagementAction) {
+  MonitoringHub hub(4);
+  hub.ingest(lat("bonds", 100));
+  hub.ingest(lat("bonds", 100));
+  hub.reset_container("bonds");
+  EXPECT_FALSE(hub.avg_latency("bonds").has_value());
+  hub.ingest(lat("bonds", 5));
+  EXPECT_DOUBLE_EQ(hub.avg_latency("bonds").value(), 5.0);
+}
+
+TEST(Hub, HistoryFilterable) {
+  MonitoringHub hub;
+  hub.ingest(lat("a", 1, 0));
+  hub.ingest(lat("b", 2, 0));
+  hub.ingest(lat("a", 3, 1));
+  auto ha = hub.history_for("a", MetricKind::kLatency);
+  ASSERT_EQ(ha.size(), 2u);
+  EXPECT_DOUBLE_EQ(ha[1].value, 3);
+  EXPECT_EQ(hub.history().size(), 3u);
+}
+
+TEST(Hub, HistoryCanBeDisabled) {
+  MonitoringHub hub(8, /*keep_history=*/false);
+  hub.ingest(lat("a", 1));
+  EXPECT_TRUE(hub.history().empty());
+  EXPECT_DOUBLE_EQ(hub.avg_latency("a").value(), 1.0);
+}
+
+TEST(MetricKindNames, AllNamed) {
+  EXPECT_STREQ(metric_kind_name(MetricKind::kLatency), "latency");
+  EXPECT_STREQ(metric_kind_name(MetricKind::kQueueDepth), "queue-depth");
+  EXPECT_STREQ(metric_kind_name(MetricKind::kThroughput), "throughput");
+  EXPECT_STREQ(metric_kind_name(MetricKind::kEndToEnd), "end-to-end");
+}
+
+TEST(Hub, BottleneckSwitchesAsWindowsEvolve) {
+  MonitoringHub hub(2);
+  hub.ingest(lat("a", 30));
+  hub.ingest(lat("b", 10));
+  EXPECT_EQ(hub.bottleneck().value(), "a");
+  // b degrades past a's window.
+  hub.ingest(lat("b", 50));
+  hub.ingest(lat("b", 60));
+  EXPECT_EQ(hub.bottleneck().value(), "b");
+  // a's window refreshes low: still b.
+  hub.ingest(lat("a", 1));
+  hub.ingest(lat("a", 1));
+  EXPECT_EQ(hub.bottleneck().value(), "b");
+}
+
+TEST(Hub, TieBreakIsDeterministic) {
+  MonitoringHub a_first(4), b_first(4);
+  a_first.ingest(lat("a", 5));
+  a_first.ingest(lat("b", 5));
+  b_first.ingest(lat("b", 5));
+  b_first.ingest(lat("a", 5));
+  // Equal averages: the same container wins regardless of arrival order
+  // (map iteration order), keeping policy runs reproducible.
+  EXPECT_EQ(a_first.bottleneck().value(), b_first.bottleneck().value());
+}
+
+}  // namespace
+}  // namespace ioc::mon

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "s3d/field.h"
+#include "s3d/flame.h"
+#include "s3d/front.h"
+
+namespace ioc::s3d {
+namespace {
+
+TEST(Field, AccessAndStats) {
+  Field f(4, 3, 1.0);
+  EXPECT_EQ(f.size(), 12u);
+  f.at(2, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(f.at(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(f.max(), 5.0);
+  EXPECT_DOUBLE_EQ(f.min(), 1.0);
+  EXPECT_NEAR(f.mean(), (11.0 + 5.0) / 12.0, 1e-12);
+}
+
+TEST(Field, LaplacianOfConstantIsZero) {
+  Field f(8, 8, 3.5);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(f.laplacian(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Field, LaplacianOfPointSource) {
+  Field f(5, 5, 0.0);
+  f.at(2, 2) = 1.0;
+  EXPECT_DOUBLE_EQ(f.laplacian(2, 2), -4.0);
+  EXPECT_DOUBLE_EQ(f.laplacian(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(f.laplacian(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(f.laplacian(0, 0), 0.0);
+}
+
+TEST(Field, PeriodicYBoundary) {
+  Field f(3, 4, 0.0);
+  f.at(1, 0) = 1.0;
+  // Neighbor across the periodic y seam sees the source.
+  EXPECT_DOUBLE_EQ(f.laplacian(1, 3), 1.0);
+}
+
+TEST(FlameSim, IgnitionSetsProgress) {
+  FlameSim sim({64, 16});
+  EXPECT_DOUBLE_EQ(sim.progress().max(), 0.0);
+  sim.ignite_left(4);
+  EXPECT_DOUBLE_EQ(sim.progress().max(), 1.0);
+  EXPECT_DOUBLE_EQ(sim.progress().at(3, 7), 1.0);
+  EXPECT_DOUBLE_EQ(sim.progress().at(10, 7), 0.0);
+}
+
+TEST(FlameSim, ProgressStaysBounded) {
+  FlameSim sim({64, 16});
+  sim.ignite_left(4);
+  sim.step(200);
+  EXPECT_GE(sim.progress().min(), 0.0);
+  EXPECT_LE(sim.progress().max(), 1.0);
+}
+
+TEST(FlameSim, BurnedMassGrowsMonotonically) {
+  FlameSim sim({128, 16});
+  sim.ignite_left(4);
+  double prev = sim.burned_mass();
+  for (int k = 0; k < 5; ++k) {
+    sim.step(50);
+    const double cur = sim.burned_mass();
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(FlameSim, FrontPropagatesAtKppSpeed) {
+  // The classic Fisher-KPP result: the front travels at c = 2 sqrt(rD).
+  FlameConfig cfg;
+  cfg.nx = 400;
+  cfg.ny = 8;
+  cfg.dt = 0.2;
+  FlameSim sim(cfg);
+  sim.ignite_left(6);
+  sim.step(200);  // let the front relax to its asymptotic shape
+  FrontTracker tracker;
+  FrontSpeedEstimator est;
+  for (int k = 0; k < 12; ++k) {
+    est.add(sim.time(), tracker.mean_front_x(sim.progress()));
+    sim.step(40);
+  }
+  const double measured = est.speed();
+  const double expected = sim.theoretical_front_speed();
+  EXPECT_NEAR(measured, expected, expected * 0.15);
+}
+
+TEST(FrontTracker, PlanarFrontGeometry) {
+  Field f(16, 8, 0.0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) f.at(i, j) = 1.0;
+  }
+  FrontTracker t;
+  const double x = t.mean_front_x(f);
+  EXPECT_NEAR(x, 5.5, 1e-9);  // crossing between columns 5 and 6
+  // Planar front length ~ ny.
+  EXPECT_NEAR(t.front_length(f), 8.0, 1e-9);
+  auto pts = t.extract(f);
+  EXPECT_EQ(pts.size(), 8u);  // one crossing per row, no y-crossings
+}
+
+TEST(FrontTracker, NoFrontGivesSentinel) {
+  Field f(8, 8, 0.0);
+  FrontTracker t;
+  EXPECT_DOUBLE_EQ(t.mean_front_x(f), -1.0);
+  EXPECT_DOUBLE_EQ(t.front_length(f), 0.0);
+  EXPECT_TRUE(t.extract(f).empty());
+}
+
+TEST(FrontTracker, CircularFrontLengthApproximatesCircumference) {
+  FlameConfig cfg;
+  cfg.nx = 96;
+  cfg.ny = 96;
+  FlameSim sim(cfg);
+  sim.ignite_disk(48, 48, 10);
+  sim.step(40);
+  FrontTracker t;
+  const double len = t.front_length(sim.progress());
+  // The disk has grown; its contour should be a plausible circle length.
+  EXPECT_GT(len, 2 * M_PI * 10 * 0.8);
+  EXPECT_LT(len, 2 * M_PI * 48);
+}
+
+TEST(FrontTracker, WrinkledFrontIsLongerThanPlanar) {
+  FlameConfig planar_cfg;
+  planar_cfg.nx = 200;
+  planar_cfg.ny = 32;
+  FlameSim planar(planar_cfg);
+  planar.ignite_left(5);
+  planar.step(150);
+
+  FlameConfig rough_cfg = planar_cfg;
+  rough_cfg.ignition_noise = 1.0;
+  FlameSim rough(rough_cfg, 99);
+  rough.ignite_left(5);
+  rough.step(30);  // early on the perturbation still wrinkles the front
+
+  FrontTracker t;
+  EXPECT_GT(t.front_length(rough.progress()),
+            t.front_length(planar.progress()) * 0.99);
+}
+
+TEST(FrontSpeedEstimator, ExactOnLinearData) {
+  FrontSpeedEstimator est;
+  for (int i = 0; i < 10; ++i) {
+    est.add(i, 3.0 * i + 7.0);
+  }
+  EXPECT_NEAR(est.speed(), 3.0, 1e-12);
+  FrontSpeedEstimator empty;
+  EXPECT_DOUBLE_EQ(empty.speed(), 0.0);
+}
+
+}  // namespace
+}  // namespace ioc::s3d

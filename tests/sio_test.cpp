@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "des/process.h"
+#include "des/simulator.h"
+#include "net/cluster.h"
+#include "net/network.h"
+#include "sio/group.h"
+#include "sio/method.h"
+#include "sio/step.h"
+#include "sio/writer.h"
+#include "util/units.h"
+
+namespace ioc::sio {
+namespace {
+
+struct SioFixture {
+  des::Simulator sim;
+  net::Cluster cluster{sim, 4};
+  net::Network net{cluster};
+
+  Group make_group() {
+    Group g("atoms");
+    g.define_var({"x", DataType::kDouble, {0}});
+    g.define_var({"id", DataType::kInt64, {0}});
+    g.define_attribute("units", "lj");
+    return g;
+  }
+};
+
+TEST(Group, VarAndAttributeLookup) {
+  SioFixture f;
+  Group g = f.make_group();
+  ASSERT_NE(g.find_var("x"), nullptr);
+  EXPECT_EQ(g.find_var("x")->type, DataType::kDouble);
+  EXPECT_EQ(g.find_var("nope"), nullptr);
+  EXPECT_EQ(g.attribute("units").value(), "lj");
+  EXPECT_FALSE(g.attribute("absent").has_value());
+  // Redefinition replaces.
+  g.define_var({"x", DataType::kFloat, {}});
+  EXPECT_EQ(g.find_var("x")->type, DataType::kFloat);
+  EXPECT_EQ(g.vars().size(), 2u);
+}
+
+TEST(Group, TypeSizes) {
+  EXPECT_EQ(type_size(DataType::kByte), 1u);
+  EXPECT_EQ(type_size(DataType::kInt32), 4u);
+  EXPECT_EQ(type_size(DataType::kInt64), 8u);
+  EXPECT_EQ(type_size(DataType::kFloat), 4u);
+  EXPECT_EQ(type_size(DataType::kDouble), 8u);
+}
+
+des::Process emit_steps(Writer& w, int n, std::uint64_t atoms) {
+  for (int i = 0; i < n; ++i) {
+    w.open(i);
+    w.write("x", atoms * 3);
+    w.write("id", atoms);
+    co_await w.close();
+  }
+}
+
+TEST(Writer, StagingMethodFeedsStream) {
+  SioFixture f;
+  Group g = f.make_group();
+  dt::Stream stream(f.net, 0);
+  Writer w(f.sim, g, std::make_shared<StagingMethod>(stream));
+  std::vector<StepRecord> got;
+  auto reader = [](dt::Stream& s, std::vector<StepRecord>* out)
+      -> des::Process {
+    Reader r(s);
+    while (auto rec = co_await r.next(1)) out->push_back(std::move(*rec));
+  };
+  spawn(f.sim, emit_steps(w, 3, 1000));
+  spawn(f.sim, reader(stream, &got));
+  f.sim.run_until(des::kSecond);
+  stream.close();
+  f.sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].group, "atoms");
+  EXPECT_EQ(got[0].total_bytes(), 1000u * 3 * 8 + 1000u * 8);
+  ASSERT_NE(got[0].find("x"), nullptr);
+  EXPECT_EQ(got[0].find("x")->count, 3000u);
+  EXPECT_EQ(w.steps_emitted(), 3u);
+}
+
+TEST(Writer, PosixMethodStoresWithAttributes) {
+  SioFixture f;
+  Group g = f.make_group();
+  Filesystem fs(f.sim);
+  Writer w(f.sim, g, std::make_shared<PosixMethod>(fs));
+  auto p = [](Writer& w) -> des::Process {
+    w.open(7);
+    w.write("x", 100);
+    w.attribute(kAttrProvenance, "helper,bonds");
+    w.attribute(kAttrPending, "csym,cna");
+    co_await w.close();
+  };
+  spawn(f.sim, p(w));
+  f.sim.run();
+  ASSERT_EQ(fs.objects().size(), 1u);
+  const auto& obj = fs.objects()[0];
+  EXPECT_EQ(obj.step, 7u);
+  EXPECT_EQ(obj.bytes, 100u * 8);  // 100 doubles
+  EXPECT_EQ(obj.attributes.at(kAttrProvenance), "helper,bonds");
+  EXPECT_EQ(obj.attributes.at(kAttrPending), "csym,cna");
+  EXPECT_GT(f.sim.now(), 0);  // the store took filesystem time
+}
+
+TEST(Writer, MethodSwitchTakesEffectNextStep) {
+  SioFixture f;
+  Group g = f.make_group();
+  dt::Stream stream(f.net, 0);
+  Filesystem fs(f.sim);
+  Writer w(f.sim, g, std::make_shared<StagingMethod>(stream));
+  auto p = [](Writer& w, Filesystem& fs, dt::Stream& stream) -> des::Process {
+    w.open(0);
+    w.write("x", 10);
+    // Switch mid-step: current step still goes to staging.
+    w.set_method(std::make_shared<PosixMethod>(fs));
+    co_await w.close();
+    w.open(1);
+    w.write("x", 10);
+    co_await w.close();
+    stream.close();
+  };
+  spawn(f.sim, p(w, fs, stream));
+  std::vector<StepRecord> staged;
+  auto reader = [](dt::Stream& s, std::vector<StepRecord>* out)
+      -> des::Process {
+    Reader r(s);
+    while (auto rec = co_await r.next(1)) out->push_back(std::move(*rec));
+  };
+  spawn(f.sim, reader(stream, &staged));
+  f.sim.run();
+  EXPECT_EQ(staged.size(), 1u);          // step 0 via staging
+  ASSERT_EQ(fs.objects().size(), 1u);    // step 1 via POSIX
+  EXPECT_EQ(fs.objects()[0].step, 1u);
+}
+
+TEST(Writer, MisuseThrows) {
+  SioFixture f;
+  Group g = f.make_group();
+  Writer w(f.sim, g, std::make_shared<NullMethod>());
+  EXPECT_THROW(w.write("x", 1), std::logic_error);   // no open step
+  w.open(0);
+  EXPECT_THROW(w.open(1), std::logic_error);         // double open
+  EXPECT_THROW(w.write("nope", 1), std::invalid_argument);
+}
+
+TEST(Filesystem, SerializesAtAggregateBandwidth) {
+  SioFixture f;
+  Filesystem fs(f.sim, 1.0e9);  // 1 GB/s
+  auto p = [](Filesystem& fs) -> des::Process {
+    Filesystem::StoredObject a, b;
+    a.bytes = 500 * util::MB;
+    b.bytes = 500 * util::MB;
+    auto t1 = fs.store(std::move(a));
+    auto t2 = fs.store(std::move(b));
+    co_await std::move(t1);
+    co_await std::move(t2);
+  };
+  // Store concurrently from two processes.
+  auto one = [](Filesystem& fs, std::uint64_t mb) -> des::Process {
+    Filesystem::StoredObject o;
+    o.bytes = mb * util::MB;
+    co_await fs.store(std::move(o));
+  };
+  (void)p;
+  spawn(f.sim, one(fs, 500));
+  spawn(f.sim, one(fs, 500));
+  f.sim.run();
+  // Two 0.5 s writes through a single channel: 1 s total.
+  EXPECT_EQ(f.sim.now(), des::from_seconds(1.0));
+  EXPECT_EQ(fs.bytes_stored(), 1000 * util::MB);
+  EXPECT_EQ(fs.objects()[0].stored_at, des::from_seconds(0.5));
+}
+
+TEST(NullMethod, CountsDrops) {
+  SioFixture f;
+  Group g = f.make_group();
+  auto null_m = std::make_shared<NullMethod>();
+  Writer w(f.sim, g, null_m);
+  spawn(f.sim, emit_steps(w, 4, 10));
+  f.sim.run();
+  EXPECT_EQ(null_m->dropped(), 4u);
+}
+
+TEST(StepRecord, FindAndTotal) {
+  StepRecord r;
+  r.vars.push_back({"a", 100, 10, nullptr});
+  r.vars.push_back({"b", 50, 5, nullptr});
+  EXPECT_EQ(r.total_bytes(), 150u);
+  ASSERT_NE(r.find("b"), nullptr);
+  EXPECT_EQ(r.find("b")->bytes, 50u);
+  EXPECT_EQ(r.find("c"), nullptr);
+}
+
+des::Process raw_write(dt::Stream& s, des::Simulator& sim) {
+  dt::StepData d;
+  d.step = 9;
+  d.bytes = 1234;
+  d.created = sim.now();
+  co_await s.write(std::move(d));
+  s.close();
+}
+
+TEST(Reader, WrapsRawStreamStepsInSyntheticRecords) {
+  SioFixture f;
+  dt::Stream stream(f.net, 0);
+  std::vector<StepRecord> got;
+  auto reader = [](dt::Stream& s, std::vector<StepRecord>* out)
+      -> des::Process {
+    Reader r(s);
+    while (auto rec = co_await r.next(1)) out->push_back(std::move(*rec));
+  };
+  spawn(f.sim, raw_write(stream, f.sim));
+  spawn(f.sim, reader(stream, &got));
+  f.sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].group, "(raw)");
+  EXPECT_EQ(got[0].step, 9u);
+  EXPECT_EQ(got[0].total_bytes(), 1234u);
+}
+
+TEST(Writer, PerStepAttributesDoNotLeakAcrossSteps) {
+  SioFixture f;
+  Group g = f.make_group();
+  Filesystem fs(f.sim);
+  Writer w(f.sim, g, std::make_shared<PosixMethod>(fs));
+  auto p = [](Writer& w) -> des::Process {
+    w.open(0);
+    w.write("x", 1);
+    w.attribute("only-step-0", "yes");
+    co_await w.close();
+    w.open(1);
+    w.write("x", 1);
+    co_await w.close();
+  };
+  spawn(f.sim, p(w));
+  f.sim.run();
+  ASSERT_EQ(fs.objects().size(), 2u);
+  EXPECT_EQ(fs.objects()[0].attributes.count("only-step-0"), 1u);
+  EXPECT_EQ(fs.objects()[1].attributes.count("only-step-0"), 0u);
+}
+
+TEST(Filesystem, FetchPaysBandwidthAndCounts) {
+  SioFixture f;
+  Filesystem fs(f.sim, 1.0e9);
+  auto p = [](Filesystem& fs) -> des::Process {
+    co_await fs.fetch(500 * util::MB);
+  };
+  spawn(f.sim, p(fs));
+  f.sim.run();
+  EXPECT_EQ(f.sim.now(), des::from_seconds(0.5));
+  EXPECT_EQ(fs.bytes_fetched(), 500 * util::MB);
+}
+
+}  // namespace
+}  // namespace ioc::sio

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "des/process.h"
+#include "des/simulator.h"
+#include "ev/bus.h"
+#include "net/cluster.h"
+#include "net/network.h"
+#include "txn/d2t.h"
+
+namespace ioc::txn {
+namespace {
+
+struct TxnFixture {
+  des::Simulator sim;
+  net::Cluster cluster{sim, 16};
+  net::Network net{cluster};
+  ev::Bus bus{net};
+};
+
+/// Toy two-account ledger: the transactional op moves one unit from account
+/// a to account b. Conservation of the total is the atomicity invariant.
+struct Ledger {
+  int a = 5;
+  int b = 5;
+  int total() const { return a + b; }
+};
+
+struct DebitOp : Operation {
+  Ledger* l;
+  bool reserved = false;
+  explicit DebitOp(Ledger* l) : l(l) {}
+  bool prepare() override {
+    if (l->a <= 0) return false;
+    l->a -= 1;  // reserve
+    reserved = true;
+    return true;
+  }
+  void commit() override { reserved = false; }
+  void abort() override {
+    if (reserved) l->a += 1;
+    reserved = false;
+  }
+};
+
+struct CreditOp : Operation {
+  Ledger* l;
+  explicit CreditOp(Ledger* l) : l(l) {}
+  bool prepare() override { return true; }
+  void commit() override { l->b += 1; }
+  void abort() override {}
+};
+
+struct VetoOp : Operation {
+  bool prepare() override { return false; }
+  void commit() override { FAIL() << "vetoed txn must not commit"; }
+  void abort() override {}
+};
+
+des::Process run_txn(TxnHarness& h, TxnResult* out) {
+  *out = co_await h.run();
+}
+
+TEST(D2t, CommitsWhenAllHealthy) {
+  TxnFixture f;
+  TxnConfig cfg;
+  cfg.writers = 6;
+  cfg.readers = 2;
+  TxnHarness h(f.bus, cfg);
+  Ledger ledger;
+  DebitOp debit(&ledger);
+  CreditOp credit(&ledger);
+  h.set_operation(0, &debit);
+  h.set_operation(6, &credit);  // a reader-side participant
+  TxnResult r;
+  spawn(f.sim, run_txn(h, &r));
+  f.sim.run_until(10 * des::kSecond);
+  EXPECT_EQ(r.outcome, Outcome::kCommitted);
+  EXPECT_EQ(r.rounds, 3);
+  EXPECT_GT(r.duration, 0);
+  EXPECT_GT(r.messages, 3u * 8);  // 3 rounds over 8 members, plus overhead
+  EXPECT_EQ(ledger.a, 4);
+  EXPECT_EQ(ledger.b, 6);
+  EXPECT_EQ(ledger.total(), 10);
+}
+
+TEST(D2t, VetoAborts) {
+  TxnFixture f;
+  TxnConfig cfg;
+  cfg.writers = 3;
+  cfg.readers = 1;
+  TxnHarness h(f.bus, cfg);
+  Ledger ledger;
+  DebitOp debit(&ledger);
+  VetoOp veto;
+  h.set_operation(0, &debit);
+  h.set_operation(1, &veto);
+  TxnResult r;
+  spawn(f.sim, run_txn(h, &r));
+  f.sim.run_until(30 * des::kSecond);
+  EXPECT_EQ(r.outcome, Outcome::kAborted);
+  EXPECT_EQ(ledger.total(), 10);
+  EXPECT_EQ(ledger.a, 5);  // reservation rolled back
+}
+
+TEST(D2t, EmptyGroupsCommitTrivially) {
+  TxnFixture f;
+  TxnConfig cfg;
+  cfg.writers = 2;
+  cfg.readers = 0;
+  TxnHarness h(f.bus, cfg);
+  TxnResult r;
+  spawn(f.sim, run_txn(h, &r));
+  f.sim.run_until(10 * des::kSecond);
+  EXPECT_EQ(r.outcome, Outcome::kCommitted);
+}
+
+TEST(D2t, SequentialTransactionsReuseHarness) {
+  TxnFixture f;
+  TxnConfig cfg;
+  cfg.writers = 4;
+  cfg.readers = 2;
+  TxnHarness h(f.bus, cfg);
+  Ledger ledger;
+  DebitOp debit(&ledger);
+  CreditOp credit(&ledger);
+  h.set_operation(0, &debit);
+  h.set_operation(4, &credit);
+  auto seq = [](TxnHarness& h, std::vector<Outcome>* outs) -> des::Process {
+    for (int i = 0; i < 3; ++i) {
+      TxnResult r = co_await h.run();
+      outs->push_back(r.outcome);
+    }
+  };
+  std::vector<Outcome> outs;
+  spawn(f.sim, seq(h, &outs));
+  f.sim.run_until(60 * des::kSecond);
+  ASSERT_EQ(outs.size(), 3u);
+  for (auto o : outs) EXPECT_EQ(o, Outcome::kCommitted);
+  EXPECT_EQ(ledger.a, 2);
+  EXPECT_EQ(ledger.b, 8);
+}
+
+// Atomicity under injected failures: for every phase and a writer- and
+// reader-side victim, the ledger total is conserved and the two ops agree
+// (both applied or neither).
+struct FailureCase {
+  int participant;
+  Phase phase;
+  Outcome expected;
+};
+
+class D2tFailures : public ::testing::TestWithParam<FailureCase> {};
+
+TEST_P(D2tFailures, AtomicUnderFailure) {
+  const auto p = GetParam();
+  TxnFixture f;
+  TxnConfig cfg;
+  cfg.writers = 4;
+  cfg.readers = 2;
+  cfg.gather_timeout = des::kSecond;
+  cfg.failure.participant = p.participant;
+  cfg.failure.at = p.phase;
+  TxnHarness h(f.bus, cfg);
+  Ledger ledger;
+  DebitOp debit(&ledger);
+  CreditOp credit(&ledger);
+  h.set_operation(1, &debit);   // writer side
+  h.set_operation(4, &credit);  // reader side
+  TxnResult r;
+  spawn(f.sim, run_txn(h, &r));
+  f.sim.run_until(60 * des::kSecond);
+  EXPECT_EQ(r.outcome, p.expected);
+  if (r.outcome == Outcome::kCommitted) {
+    EXPECT_EQ(ledger.a, 4);
+    EXPECT_EQ(ledger.b, 6);
+  } else {
+    EXPECT_EQ(ledger.a, 5);
+    EXPECT_EQ(ledger.b, 5);
+  }
+  EXPECT_EQ(ledger.total(), 10);  // never lost, never duplicated
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhases, D2tFailures,
+    ::testing::Values(
+        // Deaths before the decision abort the transaction...
+        FailureCase{0, Phase::kBegin, Outcome::kAborted},
+        FailureCase{1, Phase::kBegin, Outcome::kAborted},   // op holder dies
+        FailureCase{5, Phase::kBegin, Outcome::kAborted},   // reader side
+        FailureCase{0, Phase::kVote, Outcome::kAborted},
+        FailureCase{4, Phase::kVote, Outcome::kAborted},    // op holder dies
+        // ...deaths after the decision are recovered and still commit.
+        FailureCase{0, Phase::kDecide, Outcome::kCommitted},
+        FailureCase{1, Phase::kDecide, Outcome::kCommitted},
+        FailureCase{4, Phase::kDecide, Outcome::kCommitted}));
+
+TEST(D2t, DurationGrowsModeratelyWithWriters) {
+  // The Fig. 6 property: completion time scales gracefully with the
+  // writer:reader core ratio.
+  auto measure = [](std::size_t writers, std::size_t readers) {
+    TxnFixture f;
+    TxnConfig cfg;
+    cfg.writers = writers;
+    cfg.readers = readers;
+    TxnHarness h(f.bus, cfg);
+    TxnResult r;
+    spawn(f.sim, run_txn(h, &r));
+    f.sim.run_until(120 * des::kSecond);
+    return des::to_seconds(r.duration);
+  };
+  const double t128 = measure(128, 2);
+  const double t512 = measure(512, 4);
+  const double t2048 = measure(2048, 16);
+  EXPECT_GT(t512, t128);
+  EXPECT_GT(t2048, t512);
+  // Sub-linear or ~linear in writers, definitely not quadratic.
+  EXPECT_LT(t2048 / t128, 32.0);
+}
+
+}  // namespace
+}  // namespace ioc::txn

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/config.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace ioc::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform(3.0, 27.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 27.0);
+  }
+}
+
+TEST(Rng, BelowBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(5);
+  Rng b = a.split();
+  // The split stream must not mirror the parent.
+  int same = 0;
+  Rng a2(5);
+  (void)a2.next_u64();  // consumed by split
+  for (int i = 0; i < 64; ++i) {
+    if (a2.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(OnlineStats, Basics) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsSafe) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(WindowedMean, SlidesOverWindow) {
+  WindowedMean w(3);
+  w.add(1);
+  w.add(2);
+  w.add(3);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(9);  // evicts 1
+  EXPECT_DOUBLE_EQ(w.mean(), (2 + 3 + 9) / 3.0);
+}
+
+TEST(WindowedMean, ResetClears) {
+  WindowedMean w(4);
+  w.add(10);
+  w.reset();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(PowerFit, RecoversQuadratic) {
+  std::vector<double> x, y;
+  for (double v : {100.0, 200.0, 400.0, 800.0, 1600.0}) {
+    x.push_back(v);
+    y.push_back(3.5 * v * v);
+  }
+  auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit.scale, 3.5, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(PowerFit, RecoversLinear) {
+  std::vector<double> x{10, 20, 40, 80}, y{1, 2, 4, 8};
+  auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-9);
+}
+
+TEST(PowerFit, DegenerateInputs) {
+  auto fit = fit_power_law({1.0}, {2.0});
+  EXPECT_DOUBLE_EQ(fit.exponent, 0.0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(67 * MB), "67.0 MB");
+  EXPECT_EQ(format_bytes(1346 * MB / 10), "134.6 MB");
+  EXPECT_EQ(format_bytes(3 * GB), "3.0 GB");
+}
+
+TEST(Table, AlignedRender) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(Table, CsvRender) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"x", "y"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Config, ParsesSectionsAndTypes) {
+  auto cfg = Config::parse(R"(
+; pipeline spec
+[pipeline]
+sla_seconds = 15.5
+steps = 100
+
+[container]
+name = bonds
+essential = true
+upstream = helper
+nodes = 4
+
+[container]
+name = csym
+essential = no
+upstream = bonds, helper
+)");
+  ASSERT_EQ(cfg.sections().size(), 3u);
+  const auto* p = cfg.find("pipeline");
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->get_double("sla_seconds", 0), 15.5);
+  EXPECT_EQ(p->get_int("steps", 0), 100);
+
+  auto containers = cfg.find_all("container");
+  ASSERT_EQ(containers.size(), 2u);
+  EXPECT_EQ(containers[0]->get_or("name", ""), "bonds");
+  EXPECT_TRUE(containers[0]->get_bool("essential", false));
+  EXPECT_FALSE(containers[1]->get_bool("essential", true));
+  auto ups = containers[1]->get_list("upstream");
+  ASSERT_EQ(ups.size(), 2u);
+  EXPECT_EQ(ups[0], "bonds");
+  EXPECT_EQ(ups[1], "helper");
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  auto cfg = Config::parse("[s]\nk = v\n");
+  const auto* s = cfg.find("s");
+  EXPECT_EQ(s->get_or("absent", "d"), "d");
+  EXPECT_EQ(s->get_int("absent", 7), 7);
+  EXPECT_FALSE(s->get("absent").has_value());
+  EXPECT_TRUE(s->has("k"));
+}
+
+TEST(Config, MalformedInputThrows) {
+  EXPECT_THROW(Config::parse("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse("key_outside = 1\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse("[s]\nno_equals_here\n"), std::runtime_error);
+}
+
+TEST(Config, CommentsAndWhitespace) {
+  auto cfg = Config::parse("# c\n  [ s ]  \n  a =  1  \n; c2\n");
+  const auto* s = cfg.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->get_or("a", ""), "1");
+}
+
+TEST(Config, InlineComments) {
+  auto cfg = Config::parse(
+      "[s]\n"
+      "a = helper    ; trailing comment\n"
+      "b = 12 # another\n"
+      "url = semi;colon-not-comment\n");
+  const auto* s = cfg.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->get_or("a", ""), "helper");
+  EXPECT_EQ(s->get_int("b", 0), 12);
+  // A ';' not preceded by whitespace is part of the value.
+  EXPECT_EQ(s->get_or("url", ""), "semi;colon-not-comment");
+}
+
+TEST(SplitTrim, Behaviour) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  auto parts = split("a, b,,c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "b");
+}
+
+}  // namespace
+}  // namespace ioc::util
