@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_staging.dir/ablation_staging.cpp.o"
+  "CMakeFiles/ablation_staging.dir/ablation_staging.cpp.o.d"
+  "ablation_staging"
+  "ablation_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_end_to_end.dir/fig10_end_to_end.cpp.o"
+  "CMakeFiles/fig10_end_to_end.dir/fig10_end_to_end.cpp.o.d"
+  "fig10_end_to_end"
+  "fig10_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

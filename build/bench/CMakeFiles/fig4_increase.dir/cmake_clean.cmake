@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_increase.dir/fig4_increase.cpp.o"
+  "CMakeFiles/fig4_increase.dir/fig4_increase.cpp.o.d"
+  "fig4_increase"
+  "fig4_increase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

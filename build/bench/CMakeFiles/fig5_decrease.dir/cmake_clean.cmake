@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_decrease.dir/fig5_decrease.cpp.o"
+  "CMakeFiles/fig5_decrease.dir/fig5_decrease.cpp.o.d"
+  "fig5_decrease"
+  "fig5_decrease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_decrease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

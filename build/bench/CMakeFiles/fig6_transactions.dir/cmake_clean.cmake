@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_transactions.dir/fig6_transactions.cpp.o"
+  "CMakeFiles/fig6_transactions.dir/fig6_transactions.cpp.o.d"
+  "fig6_transactions"
+  "fig6_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_latency_256.dir/fig7_latency_256.cpp.o"
+  "CMakeFiles/fig7_latency_256.dir/fig7_latency_256.cpp.o.d"
+  "fig7_latency_256"
+  "fig7_latency_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_latency_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_latency_512.dir/fig8_latency_512.cpp.o"
+  "CMakeFiles/fig8_latency_512.dir/fig8_latency_512.cpp.o.d"
+  "fig8_latency_512"
+  "fig8_latency_512.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_latency_512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_latency_512.
+# This may be replaced when dependencies are built.

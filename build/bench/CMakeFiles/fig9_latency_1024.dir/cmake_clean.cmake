@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_latency_1024.dir/fig9_latency_1024.cpp.o"
+  "CMakeFiles/fig9_latency_1024.dir/fig9_latency_1024.cpp.o.d"
+  "fig9_latency_1024"
+  "fig9_latency_1024.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_latency_1024.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_datasizes.dir/table2_datasizes.cpp.o"
+  "CMakeFiles/table2_datasizes.dir/table2_datasizes.cpp.o.d"
+  "table2_datasizes"
+  "table2_datasizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_datasizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crack_pipeline.dir/crack_pipeline.cpp.o"
+  "CMakeFiles/crack_pipeline.dir/crack_pipeline.cpp.o.d"
+  "crack_pipeline"
+  "crack_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crack_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

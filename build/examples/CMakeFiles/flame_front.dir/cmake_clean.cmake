@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flame_front.dir/flame_front.cpp.o"
+  "CMakeFiles/flame_front.dir/flame_front.cpp.o.d"
+  "flame_front"
+  "flame_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flame_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/midrun_attach.cpp" "examples/CMakeFiles/midrun_attach.dir/midrun_attach.cpp.o" "gcc" "examples/CMakeFiles/midrun_attach.dir/midrun_attach.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ioc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/ioc_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ioc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sio/CMakeFiles/ioc_sio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dt/CMakeFiles/ioc_dt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sp/CMakeFiles/ioc_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/ioc_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/ev/CMakeFiles/ioc_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ioc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/ioc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ioc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrun_attach.dir/midrun_attach.cpp.o"
+  "CMakeFiles/midrun_attach.dir/midrun_attach.cpp.o.d"
+  "midrun_attach"
+  "midrun_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrun_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

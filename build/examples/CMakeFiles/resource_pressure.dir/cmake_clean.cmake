@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_pressure.dir/resource_pressure.cpp.o"
+  "CMakeFiles/resource_pressure.dir/resource_pressure.cpp.o.d"
+  "resource_pressure"
+  "resource_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_trade.dir/txn_trade.cpp.o"
+  "CMakeFiles/txn_trade.dir/txn_trade.cpp.o.d"
+  "txn_trade"
+  "txn_trade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_trade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

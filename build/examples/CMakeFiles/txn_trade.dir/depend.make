@@ -1,0 +1,2 @@
+# Empty dependencies file for txn_trade.
+# This may be replaced when dependencies are built.

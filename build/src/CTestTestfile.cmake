@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("des")
+subdirs("net")
+subdirs("ev")
+subdirs("dt")
+subdirs("sio")
+subdirs("md")
+subdirs("s3d")
+subdirs("sp")
+subdirs("mon")
+subdirs("txn")
+subdirs("post")
+subdirs("core")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/container.cpp" "src/core/CMakeFiles/ioc_core.dir/container.cpp.o" "gcc" "src/core/CMakeFiles/ioc_core.dir/container.cpp.o.d"
+  "/root/repo/src/core/global.cpp" "src/core/CMakeFiles/ioc_core.dir/global.cpp.o" "gcc" "src/core/CMakeFiles/ioc_core.dir/global.cpp.o.d"
+  "/root/repo/src/core/resources.cpp" "src/core/CMakeFiles/ioc_core.dir/resources.cpp.o" "gcc" "src/core/CMakeFiles/ioc_core.dir/resources.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/ioc_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/ioc_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/ioc_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/ioc_core.dir/spec.cpp.o.d"
+  "/root/repo/src/core/trade.cpp" "src/core/CMakeFiles/ioc_core.dir/trade.cpp.o" "gcc" "src/core/CMakeFiles/ioc_core.dir/trade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mon/CMakeFiles/ioc_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ioc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sio/CMakeFiles/ioc_sio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dt/CMakeFiles/ioc_dt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sp/CMakeFiles/ioc_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/ioc_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/ev/CMakeFiles/ioc_ev.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ioc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/ioc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ioc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_core.dir/container.cpp.o"
+  "CMakeFiles/ioc_core.dir/container.cpp.o.d"
+  "CMakeFiles/ioc_core.dir/global.cpp.o"
+  "CMakeFiles/ioc_core.dir/global.cpp.o.d"
+  "CMakeFiles/ioc_core.dir/resources.cpp.o"
+  "CMakeFiles/ioc_core.dir/resources.cpp.o.d"
+  "CMakeFiles/ioc_core.dir/runtime.cpp.o"
+  "CMakeFiles/ioc_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/ioc_core.dir/spec.cpp.o"
+  "CMakeFiles/ioc_core.dir/spec.cpp.o.d"
+  "CMakeFiles/ioc_core.dir/trade.cpp.o"
+  "CMakeFiles/ioc_core.dir/trade.cpp.o.d"
+  "libioc_core.a"
+  "libioc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_des.dir/simulator.cpp.o"
+  "CMakeFiles/ioc_des.dir/simulator.cpp.o.d"
+  "libioc_des.a"
+  "libioc_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

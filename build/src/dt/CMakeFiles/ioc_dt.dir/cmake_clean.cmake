@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_dt.dir/stream.cpp.o"
+  "CMakeFiles/ioc_dt.dir/stream.cpp.o.d"
+  "libioc_dt.a"
+  "libioc_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

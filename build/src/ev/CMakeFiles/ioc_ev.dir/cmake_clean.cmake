@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_ev.dir/bus.cpp.o"
+  "CMakeFiles/ioc_ev.dir/bus.cpp.o.d"
+  "libioc_ev.a"
+  "libioc_ev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_ev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

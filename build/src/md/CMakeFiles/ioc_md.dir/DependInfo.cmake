@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/atoms.cpp" "src/md/CMakeFiles/ioc_md.dir/atoms.cpp.o" "gcc" "src/md/CMakeFiles/ioc_md.dir/atoms.cpp.o.d"
+  "/root/repo/src/md/cells.cpp" "src/md/CMakeFiles/ioc_md.dir/cells.cpp.o" "gcc" "src/md/CMakeFiles/ioc_md.dir/cells.cpp.o.d"
+  "/root/repo/src/md/force_lj.cpp" "src/md/CMakeFiles/ioc_md.dir/force_lj.cpp.o" "gcc" "src/md/CMakeFiles/ioc_md.dir/force_lj.cpp.o.d"
+  "/root/repo/src/md/lattice.cpp" "src/md/CMakeFiles/ioc_md.dir/lattice.cpp.o" "gcc" "src/md/CMakeFiles/ioc_md.dir/lattice.cpp.o.d"
+  "/root/repo/src/md/sim.cpp" "src/md/CMakeFiles/ioc_md.dir/sim.cpp.o" "gcc" "src/md/CMakeFiles/ioc_md.dir/sim.cpp.o.d"
+  "/root/repo/src/md/workload.cpp" "src/md/CMakeFiles/ioc_md.dir/workload.cpp.o" "gcc" "src/md/CMakeFiles/ioc_md.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ioc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_md.dir/atoms.cpp.o"
+  "CMakeFiles/ioc_md.dir/atoms.cpp.o.d"
+  "CMakeFiles/ioc_md.dir/cells.cpp.o"
+  "CMakeFiles/ioc_md.dir/cells.cpp.o.d"
+  "CMakeFiles/ioc_md.dir/force_lj.cpp.o"
+  "CMakeFiles/ioc_md.dir/force_lj.cpp.o.d"
+  "CMakeFiles/ioc_md.dir/lattice.cpp.o"
+  "CMakeFiles/ioc_md.dir/lattice.cpp.o.d"
+  "CMakeFiles/ioc_md.dir/sim.cpp.o"
+  "CMakeFiles/ioc_md.dir/sim.cpp.o.d"
+  "CMakeFiles/ioc_md.dir/workload.cpp.o"
+  "CMakeFiles/ioc_md.dir/workload.cpp.o.d"
+  "libioc_md.a"
+  "libioc_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

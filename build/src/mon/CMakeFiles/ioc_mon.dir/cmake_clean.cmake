@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_mon.dir/hub.cpp.o"
+  "CMakeFiles/ioc_mon.dir/hub.cpp.o.d"
+  "libioc_mon.a"
+  "libioc_mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

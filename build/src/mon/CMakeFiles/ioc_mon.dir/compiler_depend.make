@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ioc_mon.
+# This may be replaced when dependencies are built.

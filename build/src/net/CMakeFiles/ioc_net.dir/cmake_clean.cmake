@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_net.dir/cluster.cpp.o"
+  "CMakeFiles/ioc_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/ioc_net.dir/network.cpp.o"
+  "CMakeFiles/ioc_net.dir/network.cpp.o.d"
+  "CMakeFiles/ioc_net.dir/scheduler.cpp.o"
+  "CMakeFiles/ioc_net.dir/scheduler.cpp.o.d"
+  "libioc_net.a"
+  "libioc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

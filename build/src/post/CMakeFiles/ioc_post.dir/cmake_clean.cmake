@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_post.dir/replay.cpp.o"
+  "CMakeFiles/ioc_post.dir/replay.cpp.o.d"
+  "libioc_post.a"
+  "libioc_post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

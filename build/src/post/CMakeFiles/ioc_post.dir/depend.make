@@ -1,0 +1,2 @@
+# Empty dependencies file for ioc_post.
+# This may be replaced when dependencies are built.

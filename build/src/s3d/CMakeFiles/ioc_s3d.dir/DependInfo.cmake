@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/s3d/field.cpp" "src/s3d/CMakeFiles/ioc_s3d.dir/field.cpp.o" "gcc" "src/s3d/CMakeFiles/ioc_s3d.dir/field.cpp.o.d"
+  "/root/repo/src/s3d/flame.cpp" "src/s3d/CMakeFiles/ioc_s3d.dir/flame.cpp.o" "gcc" "src/s3d/CMakeFiles/ioc_s3d.dir/flame.cpp.o.d"
+  "/root/repo/src/s3d/front.cpp" "src/s3d/CMakeFiles/ioc_s3d.dir/front.cpp.o" "gcc" "src/s3d/CMakeFiles/ioc_s3d.dir/front.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ioc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

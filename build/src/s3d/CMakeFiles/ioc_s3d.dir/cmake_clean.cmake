@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_s3d.dir/field.cpp.o"
+  "CMakeFiles/ioc_s3d.dir/field.cpp.o.d"
+  "CMakeFiles/ioc_s3d.dir/flame.cpp.o"
+  "CMakeFiles/ioc_s3d.dir/flame.cpp.o.d"
+  "CMakeFiles/ioc_s3d.dir/front.cpp.o"
+  "CMakeFiles/ioc_s3d.dir/front.cpp.o.d"
+  "libioc_s3d.a"
+  "libioc_s3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_s3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

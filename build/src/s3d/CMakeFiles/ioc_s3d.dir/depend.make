@@ -1,0 +1,2 @@
+# Empty dependencies file for ioc_s3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sio/group.cpp" "src/sio/CMakeFiles/ioc_sio.dir/group.cpp.o" "gcc" "src/sio/CMakeFiles/ioc_sio.dir/group.cpp.o.d"
+  "/root/repo/src/sio/method.cpp" "src/sio/CMakeFiles/ioc_sio.dir/method.cpp.o" "gcc" "src/sio/CMakeFiles/ioc_sio.dir/method.cpp.o.d"
+  "/root/repo/src/sio/writer.cpp" "src/sio/CMakeFiles/ioc_sio.dir/writer.cpp.o" "gcc" "src/sio/CMakeFiles/ioc_sio.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dt/CMakeFiles/ioc_dt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ioc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/ioc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ioc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_sio.dir/group.cpp.o"
+  "CMakeFiles/ioc_sio.dir/group.cpp.o.d"
+  "CMakeFiles/ioc_sio.dir/method.cpp.o"
+  "CMakeFiles/ioc_sio.dir/method.cpp.o.d"
+  "CMakeFiles/ioc_sio.dir/writer.cpp.o"
+  "CMakeFiles/ioc_sio.dir/writer.cpp.o.d"
+  "libioc_sio.a"
+  "libioc_sio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_sio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sp/bonds.cpp" "src/sp/CMakeFiles/ioc_sp.dir/bonds.cpp.o" "gcc" "src/sp/CMakeFiles/ioc_sp.dir/bonds.cpp.o.d"
+  "/root/repo/src/sp/cna.cpp" "src/sp/CMakeFiles/ioc_sp.dir/cna.cpp.o" "gcc" "src/sp/CMakeFiles/ioc_sp.dir/cna.cpp.o.d"
+  "/root/repo/src/sp/costmodel.cpp" "src/sp/CMakeFiles/ioc_sp.dir/costmodel.cpp.o" "gcc" "src/sp/CMakeFiles/ioc_sp.dir/costmodel.cpp.o.d"
+  "/root/repo/src/sp/csym.cpp" "src/sp/CMakeFiles/ioc_sp.dir/csym.cpp.o" "gcc" "src/sp/CMakeFiles/ioc_sp.dir/csym.cpp.o.d"
+  "/root/repo/src/sp/fragments.cpp" "src/sp/CMakeFiles/ioc_sp.dir/fragments.cpp.o" "gcc" "src/sp/CMakeFiles/ioc_sp.dir/fragments.cpp.o.d"
+  "/root/repo/src/sp/helper.cpp" "src/sp/CMakeFiles/ioc_sp.dir/helper.cpp.o" "gcc" "src/sp/CMakeFiles/ioc_sp.dir/helper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/ioc_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ioc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

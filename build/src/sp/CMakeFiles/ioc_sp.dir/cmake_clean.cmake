@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_sp.dir/bonds.cpp.o"
+  "CMakeFiles/ioc_sp.dir/bonds.cpp.o.d"
+  "CMakeFiles/ioc_sp.dir/cna.cpp.o"
+  "CMakeFiles/ioc_sp.dir/cna.cpp.o.d"
+  "CMakeFiles/ioc_sp.dir/costmodel.cpp.o"
+  "CMakeFiles/ioc_sp.dir/costmodel.cpp.o.d"
+  "CMakeFiles/ioc_sp.dir/csym.cpp.o"
+  "CMakeFiles/ioc_sp.dir/csym.cpp.o.d"
+  "CMakeFiles/ioc_sp.dir/fragments.cpp.o"
+  "CMakeFiles/ioc_sp.dir/fragments.cpp.o.d"
+  "CMakeFiles/ioc_sp.dir/helper.cpp.o"
+  "CMakeFiles/ioc_sp.dir/helper.cpp.o.d"
+  "libioc_sp.a"
+  "libioc_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libioc_sp.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_txn.dir/d2t.cpp.o"
+  "CMakeFiles/ioc_txn.dir/d2t.cpp.o.d"
+  "libioc_txn.a"
+  "libioc_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

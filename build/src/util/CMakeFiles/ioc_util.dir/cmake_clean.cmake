@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_util.dir/config.cpp.o"
+  "CMakeFiles/ioc_util.dir/config.cpp.o.d"
+  "CMakeFiles/ioc_util.dir/log.cpp.o"
+  "CMakeFiles/ioc_util.dir/log.cpp.o.d"
+  "CMakeFiles/ioc_util.dir/stats.cpp.o"
+  "CMakeFiles/ioc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ioc_util.dir/table.cpp.o"
+  "CMakeFiles/ioc_util.dir/table.cpp.o.d"
+  "CMakeFiles/ioc_util.dir/units.cpp.o"
+  "CMakeFiles/ioc_util.dir/units.cpp.o.d"
+  "libioc_util.a"
+  "libioc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_core_test.dir/core_test.cpp.o"
+  "CMakeFiles/ioc_core_test.dir/core_test.cpp.o.d"
+  "ioc_core_test"
+  "ioc_core_test.pdb"
+  "ioc_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_des_test.dir/des_test.cpp.o"
+  "CMakeFiles/ioc_des_test.dir/des_test.cpp.o.d"
+  "ioc_des_test"
+  "ioc_des_test.pdb"
+  "ioc_des_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_dt_test.dir/dt_test.cpp.o"
+  "CMakeFiles/ioc_dt_test.dir/dt_test.cpp.o.d"
+  "ioc_dt_test"
+  "ioc_dt_test.pdb"
+  "ioc_dt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_dt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

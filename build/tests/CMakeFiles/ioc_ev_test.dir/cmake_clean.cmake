@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_ev_test.dir/ev_test.cpp.o"
+  "CMakeFiles/ioc_ev_test.dir/ev_test.cpp.o.d"
+  "ioc_ev_test"
+  "ioc_ev_test.pdb"
+  "ioc_ev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_ev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

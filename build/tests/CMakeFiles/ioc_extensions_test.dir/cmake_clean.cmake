@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_extensions_test.dir/extensions_test.cpp.o"
+  "CMakeFiles/ioc_extensions_test.dir/extensions_test.cpp.o.d"
+  "ioc_extensions_test"
+  "ioc_extensions_test.pdb"
+  "ioc_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

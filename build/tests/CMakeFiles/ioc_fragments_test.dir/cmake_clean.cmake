@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_fragments_test.dir/fragments_test.cpp.o"
+  "CMakeFiles/ioc_fragments_test.dir/fragments_test.cpp.o.d"
+  "ioc_fragments_test"
+  "ioc_fragments_test.pdb"
+  "ioc_fragments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_fragments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_fuzz_management_test.dir/fuzz_management_test.cpp.o"
+  "CMakeFiles/ioc_fuzz_management_test.dir/fuzz_management_test.cpp.o.d"
+  "ioc_fuzz_management_test"
+  "ioc_fuzz_management_test.pdb"
+  "ioc_fuzz_management_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_fuzz_management_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

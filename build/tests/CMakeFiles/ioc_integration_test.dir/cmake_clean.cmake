@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_integration_test.dir/integration_test.cpp.o"
+  "CMakeFiles/ioc_integration_test.dir/integration_test.cpp.o.d"
+  "ioc_integration_test"
+  "ioc_integration_test.pdb"
+  "ioc_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

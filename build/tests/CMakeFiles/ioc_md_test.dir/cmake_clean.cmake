@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_md_test.dir/md_test.cpp.o"
+  "CMakeFiles/ioc_md_test.dir/md_test.cpp.o.d"
+  "ioc_md_test"
+  "ioc_md_test.pdb"
+  "ioc_md_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_md_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

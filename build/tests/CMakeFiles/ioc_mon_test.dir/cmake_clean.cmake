@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_mon_test.dir/mon_test.cpp.o"
+  "CMakeFiles/ioc_mon_test.dir/mon_test.cpp.o.d"
+  "ioc_mon_test"
+  "ioc_mon_test.pdb"
+  "ioc_mon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_mon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_net_test.dir/net_test.cpp.o"
+  "CMakeFiles/ioc_net_test.dir/net_test.cpp.o.d"
+  "ioc_net_test"
+  "ioc_net_test.pdb"
+  "ioc_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_post_test.dir/post_test.cpp.o"
+  "CMakeFiles/ioc_post_test.dir/post_test.cpp.o.d"
+  "ioc_post_test"
+  "ioc_post_test.pdb"
+  "ioc_post_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_post_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_s3d_test.dir/s3d_test.cpp.o"
+  "CMakeFiles/ioc_s3d_test.dir/s3d_test.cpp.o.d"
+  "ioc_s3d_test"
+  "ioc_s3d_test.pdb"
+  "ioc_s3d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_s3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

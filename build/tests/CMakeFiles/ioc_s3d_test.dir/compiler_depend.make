@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ioc_s3d_test.
+# This may be replaced when dependencies are built.

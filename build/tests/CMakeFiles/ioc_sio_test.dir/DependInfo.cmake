@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sio_test.cpp" "tests/CMakeFiles/ioc_sio_test.dir/sio_test.cpp.o" "gcc" "tests/CMakeFiles/ioc_sio_test.dir/sio_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sio/CMakeFiles/ioc_sio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dt/CMakeFiles/ioc_dt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ioc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/ioc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ioc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_sio_test.dir/sio_test.cpp.o"
+  "CMakeFiles/ioc_sio_test.dir/sio_test.cpp.o.d"
+  "ioc_sio_test"
+  "ioc_sio_test.pdb"
+  "ioc_sio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_sio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_sp_test.dir/sp_test.cpp.o"
+  "CMakeFiles/ioc_sp_test.dir/sp_test.cpp.o.d"
+  "ioc_sp_test"
+  "ioc_sp_test.pdb"
+  "ioc_sp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_sp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_txn_test.dir/txn_test.cpp.o"
+  "CMakeFiles/ioc_txn_test.dir/txn_test.cpp.o.d"
+  "ioc_txn_test"
+  "ioc_txn_test.pdb"
+  "ioc_txn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

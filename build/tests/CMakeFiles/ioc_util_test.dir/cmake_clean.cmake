@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioc_util_test.dir/util_test.cpp.o"
+  "CMakeFiles/ioc_util_test.dir/util_test.cpp.o.d"
+  "ioc_util_test"
+  "ioc_util_test.pdb"
+  "ioc_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioc_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

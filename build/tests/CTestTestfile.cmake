@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ioc_util_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_des_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_net_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_ev_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_dt_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_sio_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_md_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_sp_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_mon_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_txn_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_core_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_s3d_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_fragments_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_post_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_des_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/ioc_fuzz_management_test[1]_include.cmake")
