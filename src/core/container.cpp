@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/log.h"
 
 namespace ioc::core {
@@ -26,11 +27,21 @@ Container::Container(Env env, ContainerSpec spec,
   for (net::NodeId n : nodes) add_replica(n);
 }
 
-Container::~Container() {
+Container::~Container() { shutdown(); }
+
+void Container::shutdown() {
   for (auto& r : replicas_) {
-    if (r->ep != ev::kInvalidEndpoint) env_.bus->close(r->ep);
+    if (r->ep != ev::kInvalidEndpoint) {
+      env_.bus->close(r->ep);
+      r->ep = ev::kInvalidEndpoint;
+    }
+    if (r->stop) r->stop->set();
   }
-  if (mgr_ep_ != ev::kInvalidEndpoint) env_.bus->close(mgr_ep_);
+  if (mgr_ep_ != ev::kInvalidEndpoint) {
+    env_.bus->close(mgr_ep_);
+    mgr_ep_ = ev::kInvalidEndpoint;
+  }
+  if (output_) output_->close();
 }
 
 void Container::start() {
@@ -307,6 +318,8 @@ des::Task<ProtocolReport> Container::do_increase(
       rep.ok = false;  // a serial component cannot use more nodes
       break;
   }
+  IOC_CHECK(node_list_.size() == replicas_.size())
+      << "replica/node ledger out of sync after increase of " << name();
   rep.total = env_.sim->now() - t0;
   co_return rep;
 }
@@ -361,6 +374,11 @@ des::Task<DonePayload> Container::do_decrease(std::uint32_t count) {
   }
   co_await endpoint_update(rep);
   if (state_ == State::kOnline && !replicas_.empty()) input_->resume();
+  IOC_CHECK(node_list_.size() == replicas_.size())
+      << "replica/node ledger out of sync after decrease of " << name();
+  IOC_CHECK(done.freed_nodes.size() == count)
+      << "decrease of " << name() << " freed " << done.freed_nodes.size()
+      << " nodes, expected " << count;
   rep.total = env_.sim->now() - t0;
   co_return done;
 }
@@ -370,6 +388,8 @@ des::Task<DonePayload> Container::do_offline() {
   is_sink_ = false;
   DonePayload done = co_await do_decrease(width());
   done.report.action = "offline";
+  IOC_CHECK(replicas_.empty())
+      << "container " << name() << " still holds replicas after offline";
   output_->close();
   done_.set();
   IOC_INFO << "container " << name() << " taken offline";

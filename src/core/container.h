@@ -73,6 +73,11 @@ class Container {
   /// Spawn the manager loop and (unless the spec starts offline) the
   /// component replicas. Call once, after set_gm_endpoint().
   void start();
+  /// Cooperative teardown: close the control endpoints and output stream and
+  /// signal the replica stop events, so every loop blocked on them finishes
+  /// the next time the simulator pumps (instead of leaking its coroutine
+  /// frame). The deployment calls this, then drains remaining events.
+  void shutdown();
   void set_gm_endpoint(ev::EndpointId gm) { gm_ep_ = gm; }
   /// Sink containers report pipeline end-to-end latency (Fig. 10).
   void set_sink(bool s) { is_sink_ = s; }

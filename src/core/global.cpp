@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/log.h"
 
 namespace ioc::core {
@@ -19,7 +20,13 @@ GlobalManager::GlobalManager(Container::Env env, const PipelineSpec& spec,
   // node 1 for it.
   mon_ep_ = env_.bus->open(1, "gm.monitor").id();
   ctl_ep_ = env_.bus->open(1, "gm.control").id();
-  for (Container* c : containers_) c->set_gm_endpoint(mon_ep_);
+  for (Container* c : containers_) {
+    c->set_gm_endpoint(mon_ep_);
+    // Current state, not the spec's: a failover GM inherits containers that
+    // may have been activated or taken offline since launch.
+    fsm_.emplace(c->name(), ProtocolFsm(c->online() ? CmState::kIdle
+                                                    : CmState::kOffline));
+  }
 }
 
 GlobalManager::~GlobalManager() {
@@ -37,12 +44,16 @@ void GlobalManager::start() {
 void GlobalManager::fail() {
   if (failed_) return;
   failed_ = true;
+  shutdown();
+  IOC_WARN << "global manager failed (simulated crash)";
+}
+
+void GlobalManager::shutdown() {
   stopping_ = true;
   if (mon_ep_ != ev::kInvalidEndpoint) env_.bus->close(mon_ep_);
   if (ctl_ep_ != ev::kInvalidEndpoint) env_.bus->close(ctl_ep_);
   mon_ep_ = ev::kInvalidEndpoint;
   ctl_ep_ = ev::kInvalidEndpoint;
-  IOC_WARN << "global manager failed (simulated crash)";
 }
 
 Container* GlobalManager::find(const std::string& name) const {
@@ -78,10 +89,35 @@ des::Process GlobalManager::policy_loop() {
   }
 }
 
+void GlobalManager::trace_control(const std::string& container,
+                                  const std::string& type, bool to_cm,
+                                  int delta) {
+  ControlTraceEvent ev;
+  ev.at = env_.sim->now();
+  ev.container = container;
+  ev.type = type;
+  ev.to_cm = to_cm;
+  ev.delta = delta;
+  trace_.push_back(std::move(ev));
+  auto it = fsm_.find(container);
+  if (it != fsm_.end()) {
+    const bool legal = it->second.advance(type);
+    IOC_CHECK(legal) << "protocol violation: " << type << " for container "
+                     << container << " in state "
+                     << cm_state_name(it->second.state());
+    (void)legal;
+  }
+}
+
 des::Task<ev::Message> GlobalManager::request_cm(Container* c,
                                                  ev::Message m) {
-  co_return co_await env_.bus->request(ctl_ep_, c->manager_endpoint(),
-                                       std::move(m));
+  trace_control(c->name(), m.type, /*to_cm=*/true, 0);
+  ev::Message reply = co_await env_.bus->request(ctl_ep_, c->manager_endpoint(),
+                                                 std::move(m));
+  int delta = 0;
+  if (const auto* done = reply.as<DonePayload>()) delta = done->report.delta;
+  trace_control(c->name(), reply.type, /*to_cm=*/false, delta);
+  co_return reply;
 }
 
 void GlobalManager::log_event(const std::string& action,
@@ -100,13 +136,16 @@ void GlobalManager::log_event(const std::string& action,
   events_.push_back(std::move(ev));
 }
 
-des::Task<ProtocolReport> GlobalManager::increase(const std::string& name,
+des::Task<ProtocolReport> GlobalManager::increase(std::string name,
                                                   std::uint32_t n) {
   ProtocolReport rep;
   rep.action = "increase";
   rep.container = name;
   Container* c = find(name);
-  if (c == nullptr || n == 0) {
+  // An offline CM has no conversation to join (Fig. 3): growing it goes
+  // through activate() instead, so refuse here rather than round-trip a
+  // request the CM would reject anyway.
+  if (c == nullptr || n == 0 || !c->online()) {
     rep.ok = false;
     co_return rep;
   }
@@ -132,17 +171,18 @@ des::Task<ProtocolReport> GlobalManager::increase(const std::string& name,
                         rep.pause_wait - rep.endpoint_update -
                         rep.state_migration;
   if (!rep.ok) pool_.reclaim(name, nodes);
+  IOC_CHECK(pool_.conserved()) << "pool corrupted by increase of " << name;
   hub_.reset_container(name);
   co_return rep;
 }
 
-des::Task<ProtocolReport> GlobalManager::decrease(const std::string& name,
+des::Task<ProtocolReport> GlobalManager::decrease(std::string name,
                                                   std::uint32_t k) {
   ProtocolReport rep;
   rep.action = "decrease";
   rep.container = name;
   Container* c = find(name);
-  if (c == nullptr || k == 0) {
+  if (c == nullptr || k == 0 || !c->online()) {
     rep.ok = false;
     co_return rep;
   }
@@ -161,17 +201,24 @@ des::Task<ProtocolReport> GlobalManager::decrease(const std::string& name,
   rep.gm_cm_messaging = rep.total - rep.aprun - rep.metadata_exchange -
                         rep.pause_wait - rep.endpoint_update -
                         rep.state_migration;
+  IOC_CHECK(pool_.conserved()) << "pool corrupted by decrease of " << name;
   hub_.reset_container(name);
   co_return rep;
 }
 
-des::Task<ProtocolReport> GlobalManager::steal(const std::string& donor,
-                                               const std::string& recipient,
+des::Task<ProtocolReport> GlobalManager::steal(std::string donor,
+                                               std::string recipient,
                                                std::uint32_t k) {
+  const std::size_t before = pool_.total();
   ProtocolReport dec = co_await decrease(donor, k);
   if (!dec.ok) co_return dec;
   log_event("decrease", donor, "donating to " + recipient, dec.delta, dec);
   ProtocolReport inc = co_await increase(recipient, k);
+  // The property the D2T trade protects: a node leaving the donor is either
+  // owned by the recipient or back in the spare pool — never lost.
+  IOC_CHECK(pool_.conserved() && pool_.total() == before)
+      << "node-count conservation violated trading " << k << " nodes from "
+      << donor << " to " << recipient;
   co_return inc;
 }
 
@@ -208,7 +255,7 @@ std::pair<std::string, std::string> GlobalManager::provenance_labels(
 }
 
 des::Task<ProtocolReport> GlobalManager::offline_cascade(
-    const std::string& name, const std::string& reason) {
+    std::string name, std::string reason) {
   ProtocolReport rep;
   rep.action = "offline";
   rep.container = name;
@@ -270,7 +317,7 @@ void GlobalManager::recompute_sinks() {
   }
 }
 
-des::Task<bool> GlobalManager::enable_hashes(const std::string& name,
+des::Task<bool> GlobalManager::enable_hashes(std::string name,
                                              bool enabled) {
   Container* c = find(name);
   if (c == nullptr) co_return false;
@@ -281,7 +328,7 @@ des::Task<bool> GlobalManager::enable_hashes(const std::string& name,
                                     std::move(m));
 }
 
-des::Task<ProtocolReport> GlobalManager::activate(const std::string& name,
+des::Task<ProtocolReport> GlobalManager::activate(std::string name,
                                                   std::uint32_t n) {
   ProtocolReport rep;
   rep.action = "activate";
@@ -306,8 +353,7 @@ des::Task<ProtocolReport> GlobalManager::activate(const std::string& name,
   co_return rep;
 }
 
-des::Task<bool> GlobalManager::try_feed(Container* c,
-                                        const std::string& why) {
+des::Task<bool> GlobalManager::try_feed(Container* c, std::string why) {
   // Ask the container's local manager what it needs (only it understands
   // its component's speedup behaviour).
   ev::Message q;

@@ -7,12 +7,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/container.h"
 #include "core/protocol.h"
+#include "core/protocol_fsm.h"
 #include "core/resources.h"
 #include "core/spec.h"
 #include "des/process.h"
@@ -55,12 +57,20 @@ class GlobalManager {
   /// rebuilds its (soft) monitoring state from the live sample stream.
   void fail();
   bool failed() const { return failed_; }
+  /// Quiet teardown: stop the policy loop and close the control/monitoring
+  /// endpoints so the blocked loops can finish once remaining events drain.
+  void shutdown();
 
   ev::EndpointId monitor_endpoint() const { return mon_ep_; }
   mon::MonitoringHub& hub() { return hub_; }
   const mon::MonitoringHub& hub() const { return hub_; }
   ResourcePool& pool() { return pool_; }
   const std::vector<ManagementEvent>& events() const { return events_; }
+  /// Every control message this manager exchanged with a CM, in order; feed
+  /// it to lint::check_trace to audit a run offline.
+  const std::vector<ControlTraceEvent>& control_trace() const {
+    return trace_;
+  }
   Container* find(const std::string& name) const;
 
   // --- protocol drivers ---------------------------------------------------
@@ -69,26 +79,25 @@ class GlobalManager {
 
   /// Grant up to `n` spare nodes to the container and run the increase
   /// protocol. The report's ok flag is false when nothing could be granted.
-  des::Task<ProtocolReport> increase(const std::string& name, std::uint32_t n);
+  des::Task<ProtocolReport> increase(std::string name, std::uint32_t n);
   /// Shrink a container by `k`, returning its nodes to the spare pool.
-  des::Task<ProtocolReport> decrease(const std::string& name, std::uint32_t k);
+  des::Task<ProtocolReport> decrease(std::string name, std::uint32_t k);
   /// Move `k` nodes from donor to recipient (decrease then increase).
-  des::Task<ProtocolReport> steal(const std::string& donor,
-                                  const std::string& recipient,
+  des::Task<ProtocolReport> steal(std::string donor, std::string recipient,
                                   std::uint32_t k);
   /// Take `name` and all its dependents offline; the last online upstream
   /// container switches its output to disk with provenance labels.
-  des::Task<ProtocolReport> offline_cascade(const std::string& name,
-                                            const std::string& reason);
+  des::Task<ProtocolReport> offline_cascade(std::string name,
+                                            std::string reason);
   /// Bring a dormant container online with `n` spare nodes (the dynamic
   /// branch: CSym detects the break, CNA starts; also usable interactively
   /// mid-run). Sink flags are recomputed so end-to-end accounting follows
   /// the new pipeline tail.
-  des::Task<ProtocolReport> activate(const std::string& name, std::uint32_t n);
+  des::Task<ProtocolReport> activate(std::string name, std::uint32_t n);
 
   /// Toggle soft-error data hashes on a container's output at run time
   /// (Section III-D's control feature).
-  des::Task<bool> enable_hashes(const std::string& name, bool enabled = true);
+  des::Task<bool> enable_hashes(std::string name, bool enabled = true);
 
   /// Re-derive which online containers are pipeline sinks (no online
   /// downstream); called after topology-changing actions.
@@ -101,12 +110,16 @@ class GlobalManager {
   /// Try to satisfy a container's resource needs from spares, then by
   /// stealing from an over-provisioned donor. Returns true if an action was
   /// taken.
-  des::Task<bool> try_feed(Container* c, const std::string& why);
+  des::Task<bool> try_feed(Container* c, std::string why);
 
  private:
   des::Process monitor_loop();
   des::Process policy_loop();
   des::Task<ev::Message> request_cm(Container* c, ev::Message m);
+  /// Append to the control trace and, in debug builds, assert the message
+  /// is legal for the container's Fig. 3 protocol state.
+  void trace_control(const std::string& container, const std::string& type,
+                     bool to_cm, int delta);
   void log_event(const std::string& action, const std::string& container,
                  const std::string& reason, int delta,
                  ProtocolReport report);
@@ -125,6 +138,10 @@ class GlobalManager {
   ev::EndpointId mon_ep_ = ev::kInvalidEndpoint;
   ev::EndpointId ctl_ep_ = ev::kInvalidEndpoint;
   std::vector<ManagementEvent> events_;
+  std::vector<ControlTraceEvent> trace_;
+  /// Per-container Fig. 3 protocol state, advanced alongside the trace so
+  /// debug builds catch illegal sequences at the moment they happen.
+  std::map<std::string, ProtocolFsm> fsm_;
   bool stopping_ = false;
   bool failed_ = false;
   des::Process mon_proc_;

@@ -71,6 +71,19 @@ struct SwitchToDiskPayload {
   std::string pending;     // analytics still owed to the data
 };
 
+/// One control-plane message as observed at the global manager: a request
+/// on its way to a container manager, or the terminating reply. The GM
+/// appends these to an always-on trace; the lint trace checker replays the
+/// trace through the Fig. 3 state machine (protocol_fsm.h) to audit
+/// protocol legality and node-count conservation after the fact.
+struct ControlTraceEvent {
+  des::SimTime at = 0;
+  std::string container;
+  std::string type;   ///< message type (kMsgIncrease, kMsgDone, ...)
+  bool to_cm = true;  ///< true: GM -> CM request; false: CM -> GM reply
+  int delta = 0;      ///< node delta carried by a DONE reply
+};
+
 /// One entry of the global manager's action log; benches and examples print
 /// these to show what management did and why.
 struct ManagementEvent {

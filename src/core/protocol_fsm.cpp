@@ -1,0 +1,64 @@
+#include "core/protocol_fsm.h"
+
+#include "core/protocol.h"
+
+namespace ioc::core {
+
+const char* cm_state_name(CmState s) {
+  switch (s) {
+    case CmState::kIdle:
+      return "idle";
+    case CmState::kResizing:
+      return "resizing";
+    case CmState::kQueried:
+      return "queried";
+    case CmState::kSwitching:
+      return "switching-to-disk";
+    case CmState::kGoingOffline:
+      return "going-offline";
+    case CmState::kOffline:
+      return "offline";
+    case CmState::kActivating:
+      return "activating";
+  }
+  return "?";
+}
+
+const std::vector<CmTransition>& cm_transitions() {
+  // Fig. 3: every management conversation is a request the CM accepts only
+  // when idle (or offline, for activation), followed by exactly one
+  // terminating reply.
+  static const std::vector<CmTransition> kTable = {
+      {CmState::kIdle, kMsgIncrease, CmState::kResizing},
+      {CmState::kIdle, kMsgDecrease, CmState::kResizing},
+      {CmState::kResizing, kMsgDone, CmState::kIdle},
+      {CmState::kIdle, kMsgQueryNeeds, CmState::kQueried},
+      {CmState::kQueried, kMsgNeeds, CmState::kIdle},
+      {CmState::kIdle, kMsgSwitchToDisk, CmState::kSwitching},
+      {CmState::kSwitching, kMsgDone, CmState::kIdle},
+      {CmState::kIdle, kMsgOffline, CmState::kGoingOffline},
+      {CmState::kGoingOffline, kMsgDone, CmState::kOffline},
+      {CmState::kOffline, kMsgActivate, CmState::kActivating},
+      {CmState::kActivating, kMsgDone, CmState::kIdle},
+  };
+  return kTable;
+}
+
+bool cm_message_is_stateless(const std::string& message) {
+  return message == kMsgEnableHashes || message == kMsgMetric ||
+         message == kMsgReplicaHello || message == kMsgReplicaConfig ||
+         message == kMsgEndpointUpdate;
+}
+
+bool ProtocolFsm::advance(const std::string& message) {
+  if (cm_message_is_stateless(message)) return true;
+  for (const auto& t : cm_transitions()) {
+    if (t.from == state_ && message == t.message) {
+      state_ = t.to;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ioc::core

@@ -1,0 +1,57 @@
+// The legal GM <-> CM control exchanges of paper Fig. 3, encoded as an
+// explicit transition table over per-container-manager states. The table is
+// the single source of truth for what a well-formed management conversation
+// looks like: the global manager advances one ProtocolFsm per container in
+// debug builds (IOC_CHECK), and the lint trace checker replays recorded
+// traces through the same table offline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ioc::core {
+
+/// Where a container manager stands in the control protocol.
+enum class CmState {
+  kIdle,          ///< online, no management conversation in flight
+  kResizing,      ///< INCREASE_REQ or DECREASE_REQ accepted, DONE pending
+  kQueried,       ///< QUERY_NEEDS accepted, NEEDS reply pending
+  kSwitching,     ///< SWITCH_TO_DISK accepted, acknowledgement pending
+  kGoingOffline,  ///< OFFLINE_REQ accepted, final DONE pending
+  kOffline,       ///< resources released; only ACTIVATE_REQ is legal
+  kActivating,    ///< ACTIVATE_REQ accepted, DONE pending
+};
+
+const char* cm_state_name(CmState s);
+
+struct CmTransition {
+  CmState from;
+  const char* message;  ///< protocol.h message type driving the edge
+  CmState to;
+};
+
+/// Every legal edge; anything absent from the table is a protocol violation.
+const std::vector<CmTransition>& cm_transitions();
+
+/// Messages legal in any state (fire-and-forget control and the metadata
+/// chatter between replicas); they do not move the state machine.
+bool cm_message_is_stateless(const std::string& message);
+
+/// One container manager's protocol state, advanced message by message.
+class ProtocolFsm {
+ public:
+  explicit ProtocolFsm(CmState initial = CmState::kIdle) : state_(initial) {}
+
+  CmState state() const { return state_; }
+
+  /// Apply one message. Returns true and moves the state when the message
+  /// is legal here (stateless messages are always legal and keep the
+  /// state); returns false and stays put on a protocol violation.
+  bool advance(const std::string& message);
+
+ private:
+  CmState state_;
+};
+
+}  // namespace ioc::core

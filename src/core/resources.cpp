@@ -5,7 +5,7 @@
 
 namespace ioc::core {
 
-ResourcePool::ResourcePool(std::vector<net::NodeId> nodes) {
+ResourcePool::ResourcePool(const std::vector<net::NodeId>& nodes) {
   for (net::NodeId n : nodes) owner_[n] = "";
 }
 
@@ -54,7 +54,7 @@ std::vector<net::NodeId> ResourcePool::grant_near(const std::string& owner,
                                                   std::size_t n,
                                                   net::NodeId near) {
   std::vector<net::NodeId> spare;
-  for (auto& [node, o] : owner_) {
+  for (const auto& [node, o] : owner_) {
     if (o.empty()) spare.push_back(node);
   }
   std::sort(spare.begin(), spare.end(), [near](net::NodeId a, net::NodeId b) {

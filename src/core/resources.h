@@ -16,7 +16,7 @@ namespace ioc::core {
 class ResourcePool {
  public:
   /// `nodes`: the staging nodes the job was allocated.
-  explicit ResourcePool(std::vector<net::NodeId> nodes);
+  explicit ResourcePool(const std::vector<net::NodeId>& nodes);
 
   std::size_t total() const { return owner_.size(); }
   std::size_t spare_count() const;

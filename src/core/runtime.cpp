@@ -100,7 +100,18 @@ StagedPipeline::StagedPipeline(PipelineSpec spec, Options opt)
   }
 }
 
-StagedPipeline::~StagedPipeline() = default;
+StagedPipeline::~StagedPipeline() {
+  // Cooperative teardown: the manager/monitor/replica loops block on
+  // mailboxes and streams, and a process abandoned while suspended leaks
+  // its coroutine frame (see des/process.h). Close everything they wait on
+  // while the simulator can still run, then drain the remaining events so
+  // every loop observes the close and finishes.
+  if (gm_) gm_->shutdown();
+  for (const auto& c : containers_) c->shutdown();
+  if (source_stream_) source_stream_->close();
+  while (sim_.step()) {
+  }
+}
 
 des::Process StagedPipeline::source_loop() {
   const md::WorkloadPoint workload = md::WorkloadModel::point(spec_.sim_nodes);
@@ -162,7 +173,10 @@ GlobalManager& StagedPipeline::failover_gm() {
   std::vector<Container*> ptrs;
   for (const auto& c : containers_) ptrs.push_back(c.get());
   // The standby takes over: fresh endpoints, containers re-pointed, soft
-  // state (monitoring windows) rebuilt from the ongoing sample stream.
+  // state (monitoring windows) rebuilt from the ongoing sample stream. The
+  // failed manager is retired, not destroyed: its policy loop may still be
+  // parked on a timer and needs the object alive to observe stopping_.
+  retired_gms_.push_back(std::move(gm_));
   gm_ = std::make_unique<GlobalManager>(env_, spec_, *pool_, ptrs, opt_.gm);
   gm_->recompute_sinks();
   gm_->start();

@@ -96,6 +96,11 @@ class StagedPipeline {
   std::unique_ptr<dt::Stream> source_stream_;
   std::vector<std::unique_ptr<Container>> containers_;
   std::unique_ptr<GlobalManager> gm_;
+  /// Managers replaced by failover_gm(). A failed manager's loops may still
+  /// be suspended (e.g. on a policy timer) when the standby takes over;
+  /// they must outlive those frames, which finish during the destructor's
+  /// event drain.
+  std::vector<std::unique_ptr<GlobalManager>> retired_gms_;
   std::uint64_t steps_emitted_ = 0;
   bool all_done_ = false;
   bool started_ = false;

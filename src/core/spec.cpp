@@ -114,6 +114,7 @@ PipelineSpec PipelineSpec::from_config(const util::Config& cfg) {
   if (const auto* p = cfg.find("pipeline")) {
     spec.output_interval_s = p->get_double("output_interval_s", 15.0);
     spec.latency_sla_s = p->get_double("latency_sla_s", spec.output_interval_s);
+    spec.e2e_sla_s = p->get_double("e2e_sla_s", 0.0);
     spec.overflow_backlog = static_cast<std::size_t>(p->get_int(
         "overflow_backlog", static_cast<std::int64_t>(spec.overflow_backlog)));
     spec.sim_nodes = static_cast<std::uint64_t>(p->get_int("sim_nodes", 256));
@@ -142,6 +143,7 @@ PipelineSpec PipelineSpec::from_config(const util::Config& cfg) {
         s->get_int("state_bytes", static_cast<std::int64_t>(c.state_bytes)));
     c.monitor_every =
         static_cast<std::uint32_t>(s->get_int("monitor_every", 1));
+    c.deadline_s = s->get_double("deadline_s", 0.0);
     spec.containers.push_back(std::move(c));
   }
   spec.validate();

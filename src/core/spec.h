@@ -46,6 +46,9 @@ struct ContainerSpec {
   /// Monitoring cadence (Section III-E: "how often they are captured"):
   /// emit latency/queue samples every k completed steps.
   std::uint32_t monitor_every = 1;
+  /// Optional per-stage latency deadline (seconds); 0 = unset. The lint
+  /// rules cross-check the stage deadlines against the pipeline SLAs.
+  double deadline_s = 0.0;
 };
 
 struct PipelineSpec {
@@ -54,6 +57,9 @@ struct PipelineSpec {
   /// Per-container latency SLA; exceeding it triggers management. Defaults
   /// to the output interval (a slower stage falls behind and blocks).
   double latency_sla_s = 15.0;
+  /// Optional end-to-end (source to sink) latency SLA in seconds; 0 =
+  /// unset. When set, per-stage deadlines must fit inside it (lint IOC009).
+  double e2e_sla_s = 0.0;
   /// Input-stream backlog (steps) above which the runtime considers the
   /// pipeline headed for a queue overflow and starts taking containers
   /// offline.

@@ -1,13 +1,16 @@
 #include "core/trade.h"
 
+#include "util/check.h"
+
 namespace ioc::core {
 
 bool DonorTradeOp::prepare() {
-  for (net::NodeId n : nodes_) {
+  for (const net::NodeId n : nodes_) {
     if (pool_->owner_of(n) != donor_) return false;
   }
   pool_->transfer(donor_, kEscrow, nodes_);
   reserved_ = true;
+  IOC_CHECK(pool_->conserved()) << "escrow reservation corrupted the pool";
   return true;
 }
 
@@ -16,6 +19,7 @@ void DonorTradeOp::commit() { reserved_ = false; }
 void DonorTradeOp::abort() {
   if (reserved_) pool_->transfer(kEscrow, donor_, nodes_);
   reserved_ = false;
+  IOC_CHECK(pool_->conserved()) << "trade abort corrupted the pool";
 }
 
 bool RecipientTradeOp::prepare() {
@@ -26,6 +30,9 @@ bool RecipientTradeOp::prepare() {
 
 void RecipientTradeOp::commit() {
   pool_->transfer(DonorTradeOp::kEscrow, recipient_, nodes_);
+  // Commit is the point where escrowed nodes must land with the recipient;
+  // audited on every trade in debug builds.
+  IOC_CHECK(pool_->conserved()) << "trade commit corrupted the pool";
 }
 
 void RecipientTradeOp::abort() {}

@@ -1,0 +1,77 @@
+// Spec diagnostics engine: a registry of static rules over a loaded
+// PipelineSpec. Each rule carries a stable code (IOC0xx for spec rules,
+// IOC1xx for protocol-trace rules, IOC9xx for loader/parser findings), a
+// severity, the config key it anchors to, and a one-line summary — the
+// same table `ioc_lint --rules` prints and the README documents.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "lint/diagnostics.h"
+#include "util/config.h"
+
+namespace ioc::lint {
+
+/// Source-location oracle for rules: resolves (container, key) to a config
+/// line when the spec came from a parsed file; all lookups return 0 for
+/// specs built in code.
+class SpecLocator {
+ public:
+  SpecLocator() = default;
+  /// Bind to the config the spec was loaded from.
+  explicit SpecLocator(const util::Config& cfg);
+
+  /// Line of `key` in the [container] section named `container` (or in
+  /// [pipeline] when `container` is empty); falls back to the section
+  /// header line, then 0.
+  int line(const std::string& container, const std::string& key) const;
+
+  /// Containers whose kind/model failed to parse; structural rules skip
+  /// them instead of double-reporting against defaulted values.
+  std::set<std::string> poisoned;
+
+ private:
+  const util::ConfigSection* section_of(const std::string& container) const;
+
+  const util::Config* cfg_ = nullptr;
+};
+
+struct RuleInfo {
+  const char* code;      ///< "IOC001"
+  Severity severity;
+  const char* key;       ///< config key the rule anchors to
+  const char* summary;   ///< one-liner for --rules / README
+};
+
+using RuleCheck = void (*)(const core::PipelineSpec&, const SpecLocator&,
+                           LintResult&);
+
+struct Rule {
+  RuleInfo info;
+  /// Null for codes emitted elsewhere (loader, parser, trace checker);
+  /// they are registered so the code table stays complete.
+  RuleCheck check = nullptr;
+};
+
+/// Every registered rule, sorted by code.
+const std::vector<Rule>& rules();
+const RuleInfo* find_rule(const std::string& code);
+
+/// Run every spec rule against an already-built spec (no source locations).
+LintResult lint_spec(const core::PipelineSpec& spec);
+
+/// Leniently build a spec from a parsed config — collecting loader errors
+/// (unknown kind/model, missing name) as diagnostics instead of exceptions
+/// — then run every spec rule with config line info attached.
+LintResult lint_config(const util::Config& cfg,
+                       const std::string& source = "<memory>");
+
+/// The lenient loader behind lint_config, exposed for the trace checker
+/// and tests: never throws, reports problems into `out`.
+core::PipelineSpec load_spec_lenient(const util::Config& cfg,
+                                     SpecLocator& loc, LintResult& out);
+
+}  // namespace ioc::lint

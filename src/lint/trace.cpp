@@ -1,0 +1,86 @@
+#include "lint/trace.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/protocol_fsm.h"
+
+namespace ioc::lint {
+
+using core::CmState;
+using core::ControlTraceEvent;
+using core::ProtocolFsm;
+
+LintResult check_trace(const core::PipelineSpec& spec,
+                       const std::vector<ControlTraceEvent>& trace) {
+  LintResult out;
+  out.source = "<trace>";
+
+  std::map<std::string, ProtocolFsm> fsm;
+  std::map<std::string, long> width;
+  long total = 0;
+  for (const auto& c : spec.containers) {
+    fsm.emplace(c.name, ProtocolFsm(c.starts_offline ? CmState::kOffline
+                                                     : CmState::kIdle));
+    width[c.name] = c.starts_offline ? 0 : static_cast<long>(c.initial_nodes);
+    total += width[c.name];
+  }
+
+  std::size_t index = 0;
+  std::set<std::string> unknown_reported;
+  for (const auto& ev : trace) {
+    ++index;
+    auto it = fsm.find(ev.container);
+    if (it == fsm.end()) {
+      if (unknown_reported.insert(ev.container).second) {
+        out.add("IOC104", Severity::kWarning, ev.container, "",
+                static_cast<int>(index),
+                "trace references a container the spec does not declare");
+      }
+      continue;
+    }
+    ProtocolFsm& m = it->second;
+    const CmState before = m.state();
+    if (!m.advance(ev.type)) {
+      std::ostringstream msg;
+      msg << "message " << ev.type << " is illegal in state "
+          << core::cm_state_name(before) << " (trace event #" << index << ")";
+      out.add("IOC101", Severity::kError, ev.container, "",
+              static_cast<int>(index), msg.str());
+      continue;  // do not cascade follow-on errors from a corrupt event
+    }
+    if (!ev.to_cm && ev.delta != 0) {
+      width[ev.container] += ev.delta;
+      total += ev.delta;
+      if (width[ev.container] < 0) {
+        std::ostringstream msg;
+        msg << "cumulative resize deltas drive the container to "
+            << width[ev.container] << " nodes (trace event #" << index << ")";
+        out.add("IOC103", Severity::kError, ev.container, "",
+                static_cast<int>(index), msg.str());
+      } else if (total > static_cast<long>(spec.staging_nodes)) {
+        std::ostringstream msg;
+        msg << "container widths sum to " << total
+            << " nodes, above the staging allocation of "
+            << spec.staging_nodes << " (trace event #" << index << ")";
+        out.add("IOC103", Severity::kError, ev.container, "",
+                static_cast<int>(index), msg.str());
+      }
+    }
+  }
+
+  for (const auto& [name, m] : fsm) {
+    const CmState s = m.state();
+    if (s == CmState::kIdle || s == CmState::kOffline) continue;
+    out.add("IOC102", Severity::kError, name, "",
+            static_cast<int>(trace.size()),
+            std::string("trace ends with the container manager in state ") +
+                core::cm_state_name(s) + " — a request never got its reply");
+  }
+  out.sort();
+  return out;
+}
+
+}  // namespace ioc::lint

@@ -1,0 +1,26 @@
+// Protocol trace checker: replays a recorded control-message trace (the
+// GlobalManager's ControlTraceEvent log, or one reconstructed from a file)
+// through the Fig. 3 state machine of core/protocol_fsm.h, and audits
+// node-count conservation across the resize deltas the DONE replies carry.
+// The same table backs the debug-mode IOC_CHECK assertions inside the
+// runtime; this offline form produces diagnostics instead of aborting.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/spec.h"
+#include "lint/diagnostics.h"
+
+namespace ioc::lint {
+
+/// Validate `trace` against `spec`. Emits:
+///   IOC101  message illegal in the container's current protocol state
+///   IOC102  trace ends with a request still awaiting its DONE
+///   IOC103  node-count conservation violated (a container below zero
+///           width, or total widths above the staging allocation)
+///   IOC104  trace references a container the spec does not declare
+LintResult check_trace(const core::PipelineSpec& spec,
+                       const std::vector<core::ControlTraceEvent>& trace);
+
+}  // namespace ioc::lint

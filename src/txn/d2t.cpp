@@ -49,6 +49,12 @@ TxnHarness::~TxnHarness() {
   bus_->close(writer_side_.ep);
   bus_->close(reader_side_.ep);
   bus_->close(coord_);
+  // The member loops block on their mailboxes; drain the simulator so they
+  // observe the closes and finish instead of leaking their frames (see
+  // des/process.h lifetime rules).
+  auto& sim = bus_->sim();
+  while (sim.step()) {
+  }
 }
 
 void TxnHarness::set_operation(std::size_t index, Operation* op) {
@@ -137,10 +143,8 @@ des::Task<std::vector<ev::Message>> TxnHarness::fan_gather(
 namespace {
 
 /// Runs one side's fan-out/gather concurrently with the other side's.
-des::Process side_round(TxnHarness* h,
-                        des::Task<std::vector<ev::Message>> task,
+des::Process side_round(des::Task<std::vector<ev::Message>> task,
                         std::vector<ev::Message>* out) {
-  (void)h;
   *out = co_await std::move(task);
 }
 
@@ -166,13 +170,11 @@ des::Task<TxnResult> TxnHarness::run() {
     co_await net.transfer(coord_node, wsub_node, 256);
     co_await net.transfer(coord_node, rsub_node, 256);
     std::vector<ev::Message> wr, rr;
-    auto pw = spawn(sim, side_round(this,
-                                    fan_gather(writer_side_.ep,
+    auto pw = spawn(sim, side_round(fan_gather(writer_side_.ep,
                                                writer_side_.members, type,
                                                token),
                                     &wr));
-    auto pr = spawn(sim, side_round(this,
-                                    fan_gather(reader_side_.ep,
+    auto pr = spawn(sim, side_round(fan_gather(reader_side_.ep,
                                                reader_side_.members, type,
                                                token),
                                     &rr));

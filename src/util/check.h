@@ -1,0 +1,72 @@
+// Debug-mode runtime assertions for protocol and resource invariants.
+//
+// IOC_CHECK(cond) << "message" audits an invariant — protocol transitions
+// legal per the Fig. 3 state machine, node-count conservation across a
+// trade — and aborts with a diagnostic when it fails. Checks are compiled
+// in when the build is a debug build (NDEBUG unset) or when
+// IOC_DEBUG_CHECKS is defined explicitly (the IOC_SANITIZE builds turn it
+// on); release benchmark builds compile the condition out entirely so
+// Figs. 4-10 numbers are unaffected.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/log.h"
+
+#if !defined(NDEBUG) && !defined(IOC_DEBUG_CHECKS)
+#define IOC_DEBUG_CHECKS 1
+#endif
+
+namespace ioc::util {
+
+class CheckFailure {
+ public:
+  CheckFailure(const char* expr, const char* file, int line) {
+    os_ << "IOC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  }
+  [[noreturn]] ~CheckFailure() {
+    detail::log_emit(LogLevel::kError, os_.str());
+    std::abort();
+  }
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <class T>
+  CheckFailure& operator<<(const T& v) {
+    os_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// Swallows the streamed message when the check is compiled out.
+struct CheckSink {
+  template <class T>
+  CheckSink& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lower-precedence-than-<< adapter so the streamed message binds to the
+/// failure object before the ternary arms are typed (the glog idiom).
+struct CheckVoidify {
+  void operator&(const CheckFailure&) {}
+  void operator&(const CheckSink&) {}
+};
+
+}  // namespace ioc::util
+
+#ifdef IOC_DEBUG_CHECKS
+#define IOC_CHECK(cond)               \
+  (cond) ? (void)0                    \
+         : ::ioc::util::CheckVoidify() & \
+               ::ioc::util::CheckFailure(#cond, __FILE__, __LINE__)
+#define IOC_CHECK_ENABLED 1
+#else
+#define IOC_CHECK(cond) \
+  true ? (void)sizeof(cond) : ::ioc::util::CheckVoidify() & ::ioc::util::CheckSink()
+#define IOC_CHECK_ENABLED 0
+#endif

@@ -30,6 +30,11 @@ bool ConfigSection::has(const std::string& key) const {
   return values_.count(key) > 0;
 }
 
+int ConfigSection::line_of(const std::string& key) const {
+  auto it = key_lines_.find(key);
+  return it == key_lines_.end() ? 0 : it->second;
+}
+
 std::optional<std::string> ConfigSection::get(const std::string& key) const {
   auto it = values_.find(key);
   if (it == values_.end()) return std::nullopt;
@@ -73,13 +78,17 @@ Config Config::parse(const std::string& text) {
   std::string line;
   std::string section_name;
   std::map<std::string, std::string> values;
+  std::map<std::string, int> key_lines;
   bool in_section = false;
   int lineno = 0;
+  int section_line = 0;
 
   auto flush = [&]() {
     if (in_section) {
-      cfg.sections_.emplace_back(section_name, std::move(values));
+      cfg.sections_.emplace_back(section_name, std::move(values), section_line,
+                                 std::move(key_lines));
       values.clear();
+      key_lines.clear();
     }
   };
 
@@ -102,6 +111,7 @@ Config Config::parse(const std::string& text) {
       }
       flush();
       section_name = trim(line.substr(1, line.size() - 2));
+      section_line = lineno;
       in_section = true;
       continue;
     }
@@ -114,7 +124,9 @@ Config Config::parse(const std::string& text) {
       throw std::runtime_error("config: key outside section at line " +
                                std::to_string(lineno));
     }
-    values[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+    const std::string key = trim(line.substr(0, eq));
+    values[key] = trim(line.substr(eq + 1));
+    key_lines[key] = lineno;
   }
   flush();
   return cfg;

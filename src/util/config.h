@@ -22,10 +22,18 @@ namespace ioc::util {
 
 class ConfigSection {
  public:
-  ConfigSection(std::string name, std::map<std::string, std::string> values)
-      : name_(std::move(name)), values_(std::move(values)) {}
+  ConfigSection(std::string name, std::map<std::string, std::string> values,
+                int line = 0, std::map<std::string, int> key_lines = {})
+      : name_(std::move(name)),
+        values_(std::move(values)),
+        line_(line),
+        key_lines_(std::move(key_lines)) {}
 
   const std::string& name() const { return name_; }
+  /// 1-based line of the [section] header; 0 when synthesized in code.
+  int line() const { return line_; }
+  /// 1-based line of `key = value`; 0 when absent or synthesized.
+  int line_of(const std::string& key) const;
   bool has(const std::string& key) const;
 
   std::optional<std::string> get(const std::string& key) const;
@@ -41,6 +49,8 @@ class ConfigSection {
  private:
   std::string name_;
   std::map<std::string, std::string> values_;
+  int line_ = 0;
+  std::map<std::string, int> key_lines_;
 };
 
 class Config {

@@ -62,8 +62,9 @@ TEST(Hashing, SinkOutputCarriesHashAttribute) {
   }
 }
 
-des::Process toggle_hashes(GlobalManager& gm, const std::string& name,
-                           bool* ok) {
+// By-value name: the process starts lazily, so a caller's temporary would
+// be gone by the time the body runs.
+des::Process toggle_hashes(GlobalManager& gm, std::string name, bool* ok) {
   *ok = co_await gm.enable_hashes(name);
 }
 
@@ -163,7 +164,7 @@ TEST(Placement, PerHopLatencyScalesWithDistance) {
   EXPECT_EQ(far - near, 27 * 10 * des::kMicrosecond);
 }
 
-des::Process drive_activate(GlobalManager& gm, const std::string& name,
+des::Process drive_activate(GlobalManager& gm, std::string name,
                             std::uint32_t n, ProtocolReport* out,
                             des::Simulator& sim, des::SimTime at) {
   co_await des::delay(sim, at);

@@ -1,0 +1,446 @@
+// ioc-lint coverage: one failing and one passing spec per diagnostic code,
+// protocol-trace replays (a recorded increase round and corrupted
+// variants), and the Fig. 3 state machine itself.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/protocol.h"
+#include "core/protocol_fsm.h"
+#include "core/runtime.h"
+#include "core/spec.h"
+#include "lint/diagnostics.h"
+#include "lint/rules.h"
+#include "lint/trace.h"
+#include "util/config.h"
+
+namespace ioc::lint {
+namespace {
+
+using core::ControlTraceEvent;
+using core::PipelineSpec;
+
+std::set<std::string> codes(const LintResult& r) {
+  std::set<std::string> out;
+  for (const auto& d : r.diagnostics) out.insert(d.code);
+  return out;
+}
+
+PipelineSpec base_spec() { return PipelineSpec::lammps_smartpointer(256, 13); }
+
+// --- spec rules: passing baseline then one failing spec per code ----------
+
+TEST(LintRules, PaperPresetsAreClean) {
+  for (const auto& spec :
+       {PipelineSpec::lammps_smartpointer(256, 13),
+        PipelineSpec::lammps_smartpointer(512, 24),
+        PipelineSpec::s3d_fronttracking(512, 12)}) {
+    const LintResult r = lint_spec(spec);
+    EXPECT_TRUE(r.ok()) << to_text(r);
+    EXPECT_EQ(r.warnings(), 0u) << to_text(r);
+  }
+}
+
+TEST(LintRules, IOC001UnknownUpstream) {
+  auto spec = base_spec();
+  spec.containers[2].upstream = "missing";
+  const auto c = codes(lint_spec(spec));
+  EXPECT_TRUE(c.count("IOC001"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC001"));
+}
+
+TEST(LintRules, IOC002DependencyCycle) {
+  auto spec = base_spec();
+  // bonds -> csym -> bonds; helper merely feeds the cycle and is not
+  // reported itself.
+  spec.containers[1].upstream = "csym";
+  const LintResult r = lint_spec(spec);
+  EXPECT_TRUE(codes(r).count("IOC002"));
+  for (const auto& d : r.diagnostics) {
+    if (d.code == "IOC002") EXPECT_NE(d.container, "helper");
+  }
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC002"));
+}
+
+TEST(LintRules, IOC003DuplicateName) {
+  auto spec = base_spec();
+  spec.containers[2].name = "bonds";
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC003"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC003"));
+}
+
+TEST(LintRules, IOC004MultipleRoots) {
+  auto spec = base_spec();
+  spec.containers[1].upstream.clear();  // bonds now also fed by the source
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC004"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC004"));
+}
+
+TEST(LintRules, IOC005MinAboveInitial) {
+  auto spec = base_spec();
+  spec.containers[1].min_nodes = spec.containers[1].initial_nodes + 1;
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC005"));
+  // A dormant container's floor does not count against its (zero) initial
+  // allocation.
+  auto dormant = base_spec();
+  dormant.containers[3].min_nodes = 2;  // cna: starts_offline, 0 nodes
+  EXPECT_FALSE(codes(lint_spec(dormant)).count("IOC005"));
+}
+
+TEST(LintRules, IOC006DemandExceedsAllocation) {
+  auto spec = base_spec();
+  spec.staging_nodes = 7;  // demand is 13
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC006"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC006"));
+}
+
+TEST(LintRules, IOC007EssentialCannotGrow) {
+  auto spec = base_spec();
+  // Pin every online container to its current width: no spares (13 = 13)
+  // and no donor headroom anywhere.
+  for (auto& c : spec.containers) c.min_nodes = c.initial_nodes;
+  const LintResult r = lint_spec(spec);
+  EXPECT_TRUE(codes(r).count("IOC007"));
+  // base: helper sits above its floor, so a donor exists.
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC007"));
+}
+
+TEST(LintRules, IOC008EssentialBehindOfflineableAncestor) {
+  auto spec = base_spec();
+  spec.containers[2].essential = true;  // csym essential, bonds is not
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC008"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC008"));
+}
+
+TEST(LintRules, IOC009DeadlinesExceedEndToEndSla) {
+  auto spec = base_spec();
+  spec.e2e_sla_s = 30;
+  spec.containers[0].deadline_s = 12;
+  spec.containers[1].deadline_s = 12;
+  spec.containers[2].deadline_s = 12;
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC009"));
+  spec.e2e_sla_s = 40;  // now they fit
+  EXPECT_FALSE(codes(lint_spec(spec)).count("IOC009"));
+}
+
+TEST(LintRules, IOC010DeadlineAboveStageSla) {
+  auto spec = base_spec();
+  spec.containers[1].deadline_s = spec.latency_sla_s + 5;
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC010"));
+  spec.containers[1].deadline_s = spec.latency_sla_s - 5;
+  EXPECT_FALSE(codes(lint_spec(spec)).count("IOC010"));
+}
+
+TEST(LintRules, IOC011NonPositiveOutputRatio) {
+  auto spec = base_spec();
+  spec.containers[1].output_ratio = 0.0;
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC011"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC011"));
+}
+
+TEST(LintRules, IOC012MonitorNever) {
+  auto spec = base_spec();
+  spec.containers[0].monitor_every = 0;
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC012"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC012"));
+}
+
+TEST(LintRules, IOC013StatefulWithoutState) {
+  auto spec = base_spec();
+  spec.containers[1].stateful = true;
+  spec.containers[1].state_bytes = 0;
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC013"));
+  spec.containers[1].state_bytes = 1024;
+  EXPECT_FALSE(codes(lint_spec(spec)).count("IOC013"));
+}
+
+TEST(LintRules, IOC014UnsupportedModel) {
+  auto spec = base_spec();
+  spec.containers[0].model = sp::ComputeModel::kParallel;  // helper != tree
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC014"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC014"));
+}
+
+TEST(LintRules, IOC015OnlineZeroNodes) {
+  auto spec = base_spec();
+  spec.containers[2].initial_nodes = 0;
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC015"));
+  // cna has zero nodes but starts offline — legal in the base spec.
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC015"));
+}
+
+TEST(LintRules, IOC016DormantWithNodes) {
+  auto spec = base_spec();
+  spec.containers[3].initial_nodes = 2;  // cna is dormant
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC016"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC016"));
+}
+
+TEST(LintRules, IOC017NonPositiveIntervals) {
+  auto spec = base_spec();
+  spec.output_interval_s = 0;
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC017"));
+  auto spec2 = base_spec();
+  spec2.latency_sla_s = -1;
+  EXPECT_TRUE(codes(lint_spec(spec2)).count("IOC017"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC017"));
+}
+
+TEST(LintRules, IOC018ZeroOverflowBacklog) {
+  auto spec = base_spec();
+  spec.overflow_backlog = 0;
+  EXPECT_TRUE(codes(lint_spec(spec)).count("IOC018"));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC018"));
+}
+
+// --- lenient config loading ------------------------------------------------
+
+constexpr const char* kGoodConfig = R"(
+[pipeline]
+output_interval_s = 15
+staging_nodes = 13
+
+[container]
+name = helper
+kind = helper
+model = tree
+nodes = 8
+min_nodes = 4
+essential = true
+
+[container]
+name = bonds
+kind = bonds
+model = parallel
+nodes = 5
+upstream = helper
+)";
+
+TEST(LintConfig, CleanConfigProducesNoDiagnostics) {
+  const auto r = lint_config(util::Config::parse(kGoodConfig), "good.ini");
+  EXPECT_TRUE(r.ok()) << to_text(r);
+  EXPECT_EQ(r.diagnostics.size(), 0u);
+}
+
+TEST(LintConfig, IOC019UnknownKind) {
+  const auto r = lint_config(util::Config::parse(R"(
+[pipeline]
+staging_nodes = 4
+[container]
+name = mystery
+kind = quantum
+nodes = 2
+)"));
+  EXPECT_TRUE(codes(r).count("IOC019"));
+  // The defaulted kind must not also fire the Table I model rule.
+  EXPECT_FALSE(codes(r).count("IOC014"));
+}
+
+TEST(LintConfig, IOC020UnknownModel) {
+  const auto r = lint_config(util::Config::parse(R"(
+[pipeline]
+staging_nodes = 4
+[container]
+name = helper
+kind = helper
+model = quantum
+nodes = 2
+)"));
+  EXPECT_TRUE(codes(r).count("IOC020"));
+  EXPECT_FALSE(codes(r).count("IOC014"));
+}
+
+TEST(LintConfig, IOC021MissingName) {
+  const auto r = lint_config(util::Config::parse(R"(
+[pipeline]
+staging_nodes = 4
+[container]
+kind = helper
+model = tree
+nodes = 2
+)"));
+  EXPECT_TRUE(codes(r).count("IOC021"));
+}
+
+TEST(LintConfig, DiagnosticsCarryConfigLines) {
+  const std::string text =
+      "[pipeline]\n"            // line 1
+      "staging_nodes = 8\n"     // line 2
+      "[container]\n"           // line 3
+      "name = helper\n"         // line 4
+      "kind = helper\n"         // line 5
+      "model = tree\n"          // line 6
+      "nodes = 4\n"             // line 7
+      "essential = true\n"      // line 8
+      "[container]\n"           // line 9
+      "name = bonds\n"          // line 10
+      "kind = bonds\n"          // line 11
+      "nodes = 2\n"             // line 12
+      "upstream = ghost\n";     // line 13
+  const auto r = lint_config(util::Config::parse(text), "lines.ini");
+  bool found = false;
+  for (const auto& d : r.diagnostics) {
+    if (d.code != "IOC001") continue;
+    found = true;
+    EXPECT_EQ(d.line, 13);
+    EXPECT_EQ(d.key, "upstream");
+    EXPECT_EQ(d.container, "bonds");
+  }
+  EXPECT_TRUE(found);
+  const std::string rendered = to_text(r);
+  EXPECT_NE(rendered.find("lines.ini:13"), std::string::npos) << rendered;
+}
+
+TEST(LintConfig, JsonOutputIsWellFormed) {
+  auto spec = base_spec();
+  spec.containers[1].output_ratio = -1;
+  LintResult r = lint_spec(spec);
+  r.source = "x.ini";
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("\"source\":\"x.ini\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"code\":\"IOC011\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"errors\":1"), std::string::npos) << j;
+}
+
+TEST(LintConfig, RegistryCoversAllEmittedCodes) {
+  // Every code the engine can emit is documented in the registry, and
+  // codes are unique.
+  std::set<std::string> seen;
+  for (const auto& r : rules()) {
+    EXPECT_TRUE(seen.insert(r.info.code).second)
+        << "duplicate rule code " << r.info.code;
+  }
+  for (const char* code :
+       {"IOC001", "IOC019", "IOC101", "IOC102", "IOC103", "IOC900"}) {
+    EXPECT_NE(find_rule(code), nullptr) << code;
+  }
+  EXPECT_GE(seen.size(), 10u);  // the acceptance floor, with headroom
+}
+
+// --- the Fig. 3 state machine ---------------------------------------------
+
+TEST(ProtocolFsm, LegalConversationsAdvance) {
+  core::ProtocolFsm m;
+  EXPECT_EQ(m.state(), core::CmState::kIdle);
+  EXPECT_TRUE(m.advance(core::kMsgIncrease));
+  EXPECT_EQ(m.state(), core::CmState::kResizing);
+  EXPECT_TRUE(m.advance(core::kMsgDone));
+  EXPECT_TRUE(m.advance(core::kMsgQueryNeeds));
+  EXPECT_TRUE(m.advance(core::kMsgNeeds));
+  EXPECT_TRUE(m.advance(core::kMsgOffline));
+  EXPECT_EQ(m.state(), core::CmState::kGoingOffline);
+  EXPECT_TRUE(m.advance(core::kMsgDone));
+  EXPECT_EQ(m.state(), core::CmState::kOffline);
+  EXPECT_TRUE(m.advance(core::kMsgActivate));
+  EXPECT_TRUE(m.advance(core::kMsgDone));
+  EXPECT_EQ(m.state(), core::CmState::kIdle);
+}
+
+TEST(ProtocolFsm, IllegalMessagesAreRejectedWithoutMovingState) {
+  core::ProtocolFsm m;
+  EXPECT_FALSE(m.advance(core::kMsgDone));  // DONE with nothing pending
+  EXPECT_EQ(m.state(), core::CmState::kIdle);
+  EXPECT_TRUE(m.advance(core::kMsgOffline));
+  EXPECT_FALSE(m.advance(core::kMsgOffline));  // double OFFLINE_REQ
+  EXPECT_FALSE(m.advance(core::kMsgIncrease));  // resize while going offline
+  EXPECT_EQ(m.state(), core::CmState::kGoingOffline);
+}
+
+TEST(ProtocolFsm, StatelessMessagesAreAlwaysLegal) {
+  core::ProtocolFsm m;
+  EXPECT_TRUE(m.advance(core::kMsgEnableHashes));
+  EXPECT_TRUE(m.advance(core::kMsgIncrease));
+  EXPECT_TRUE(m.advance(core::kMsgMetric));  // monitoring flows regardless
+  EXPECT_EQ(m.state(), core::CmState::kResizing);
+}
+
+// --- trace checking --------------------------------------------------------
+
+ControlTraceEvent ev(const char* container, const char* type, bool to_cm,
+                     int delta = 0) {
+  ControlTraceEvent e;
+  e.container = container;
+  e.type = type;
+  e.to_cm = to_cm;
+  e.delta = delta;
+  return e;
+}
+
+TEST(TraceCheck, RecordedIncreaseRoundPasses) {
+  // The 512/24 setup has 4 spares: grow bonds by 2, then shrink it back.
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  const std::vector<ControlTraceEvent> trace = {
+      ev("bonds", core::kMsgIncrease, true),
+      ev("bonds", core::kMsgDone, false, +2),
+      ev("bonds", core::kMsgDecrease, true),
+      ev("bonds", core::kMsgDone, false, -2),
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_TRUE(r.ok()) << to_text(r);
+}
+
+TEST(TraceCheck, OutOfOrderOfflineSequenceIsRejected) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  // Corrupted variant: the DONE arrives before any OFFLINE_REQ, then the
+  // request follows — both directions of the inversion are illegal.
+  const std::vector<ControlTraceEvent> trace = {
+      ev("csym", core::kMsgDone, false, -2),
+      ev("csym", core::kMsgOffline, true),
+      ev("csym", core::kMsgOffline, true),  // duplicate request
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(codes(r).count("IOC101")) << to_text(r);
+}
+
+TEST(TraceCheck, DanglingRequestIsReported) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  const std::vector<ControlTraceEvent> trace = {
+      ev("bonds", core::kMsgIncrease, true),
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_TRUE(codes(r).count("IOC102")) << to_text(r);
+}
+
+TEST(TraceCheck, ConservationViolationIsReported) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  // +6 against 4 spares: widths sum past the staging allocation.
+  const std::vector<ControlTraceEvent> over = {
+      ev("bonds", core::kMsgIncrease, true),
+      ev("bonds", core::kMsgDone, false, +6),
+  };
+  EXPECT_TRUE(codes(check_trace(spec, over)).count("IOC103"));
+  // A decrease below zero width is equally impossible.
+  const std::vector<ControlTraceEvent> under = {
+      ev("csym", core::kMsgDecrease, true),
+      ev("csym", core::kMsgDone, false, -5),  // csym starts with 2
+  };
+  EXPECT_TRUE(codes(check_trace(spec, under)).count("IOC103"));
+}
+
+TEST(TraceCheck, UnknownContainerIsFlagged) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  const std::vector<ControlTraceEvent> trace = {
+      ev("renderer", core::kMsgIncrease, true),
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_TRUE(codes(r).count("IOC104"));
+  EXPECT_TRUE(r.ok());  // a warning, not an error
+}
+
+TEST(TraceCheck, LiveManagedRunProducesACleanTrace) {
+  // End-to-end: a real managed run's recorded control trace replays clean
+  // through the same state machine the debug assertions use.
+  auto spec = PipelineSpec::lammps_smartpointer(256, 13);
+  spec.steps = 12;
+  core::StagedPipeline p(std::move(spec));
+  p.run();
+  const auto& trace = p.gm().control_trace();
+  ASSERT_FALSE(trace.empty());  // management acted at this sizing
+  const LintResult r = check_trace(p.spec(), trace);
+  EXPECT_TRUE(r.ok()) << to_text(r);
+}
+
+}  // namespace
+}  // namespace ioc::lint

@@ -1,0 +1,95 @@
+// ioc_lint: static validation of pipeline-spec config files.
+//
+//   ioc_lint [options] config.ini [config.ini ...]
+//     --json     emit one JSON object per file instead of text
+//     --strict   treat warnings as errors for the exit code
+//     --rules    print the diagnostic-code table and exit
+//     --quiet    suppress per-file output; exit code only
+//
+// Exit codes: 0 clean, 1 diagnostics at error level (or warnings under
+// --strict), 2 usage / unreadable input. CI runs this over every config in
+// examples/ so a malformed spec fails the build, not the run.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.h"
+#include "lint/rules.h"
+#include "util/config.h"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: ioc_lint [--json] [--strict] [--quiet] [--rules] "
+               "config.ini [config.ini ...]\n");
+}
+
+void print_rules() {
+  std::printf("%-8s %-8s %-18s %s\n", "code", "level", "key", "summary");
+  for (const auto& r : ioc::lint::rules()) {
+    std::printf("%-8s %-8s %-18s %s\n", r.info.code,
+                ioc::lint::severity_name(r.info.severity),
+                r.info.key[0] != '\0' ? r.info.key : "-", r.info.summary);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--rules") == 0) {
+      print_rules();
+      return 0;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage();
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "ioc_lint: unknown option '%s'\n", arg);
+      print_usage();
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  bool failed = false;
+  bool unreadable = false;
+  for (const auto& file : files) {
+    ioc::lint::LintResult result;
+    try {
+      const auto cfg = ioc::util::Config::load(file);
+      result = ioc::lint::lint_config(cfg, file);
+    } catch (const std::exception& e) {
+      // Parse/IO failures surface as an IOC900 diagnostic so --json output
+      // stays machine-readable even for garbage input.
+      result.source = file;
+      result.add("IOC900", ioc::lint::Severity::kError, "", "", 0, e.what());
+      unreadable = true;
+    }
+    if (!result.ok() || (strict && result.warnings() > 0)) failed = true;
+    if (!quiet) {
+      const std::string text =
+          json ? ioc::lint::to_json(result) + "\n" : ioc::lint::to_text(result);
+      std::fputs(text.c_str(), stdout);
+    }
+  }
+  if (unreadable) return 2;
+  return failed ? 1 : 0;
+}
