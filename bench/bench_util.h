@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "core/runtime.h"
 #include "des/time.h"
 #include "mon/metric.h"
+#include "trace/sink.h"
 #include "util/table.h"
 
 namespace ioc::bench {
@@ -40,6 +43,47 @@ inline void print_latency_series(const core::StagedPipeline& p,
                util::Table::num(s.value, 2)});
   }
   t.print("per-container latency series (events emitted):");
+}
+
+/// Export recorded spans as Chrome trace JSON. Each sink becomes its own
+/// trace process (multi-run benches pass one sink per run). The env var
+/// IOC_TRACE_OUT overrides `default_path`.
+inline void write_trace(const std::vector<const trace::TraceSink*>& sinks,
+                        const char* default_path) {
+  const char* out_path = std::getenv("IOC_TRACE_OUT");
+  if (out_path == nullptr) out_path = default_path;
+  std::FILE* f = std::fopen(out_path, "wb");
+  if (f == nullptr) {
+    std::printf("trace: cannot write %s\n", out_path);
+    return;
+  }
+  const std::string json = trace::to_chrome_json(sinks);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::size_t spans = 0;
+  std::uint64_t dropped = 0;
+  for (const trace::TraceSink* s : sinks) {
+    if (s == nullptr) continue;
+    spans += s->size();
+    dropped += s->dropped();
+  }
+  std::printf("\ntrace: %zu spans (%llu aged out) -> %s "
+              "(chrome://tracing or ui.perfetto.dev; summarize with "
+              "tools/ioc_trace)\n",
+              spans, static_cast<unsigned long long>(dropped), out_path);
+}
+
+inline void write_trace(
+    const std::vector<std::unique_ptr<trace::TraceSink>>& sinks,
+    const char* default_path) {
+  std::vector<const trace::TraceSink*> ptrs;
+  for (const auto& s : sinks) ptrs.push_back(s.get());
+  write_trace(ptrs, default_path);
+}
+
+inline void write_trace(const trace::TraceSink& sink,
+                        const char* default_path) {
+  write_trace(std::vector<const trace::TraceSink*>{&sink}, default_path);
 }
 
 inline void print_events(const core::StagedPipeline& p) {

@@ -7,10 +7,13 @@
 //
 // For contrast, an unmanaged run of the same configuration is included —
 // without management, latency climbs until the application itself blocks.
+#include <cmath>
+#include <cstdlib>
 #include <map>
 
 #include "bench_util.h"
 #include "core/runtime.h"
+#include "trace/sink.h"
 #include "util/table.h"
 
 namespace {
@@ -30,7 +33,13 @@ int main() {
   bench::heading("Fig. 10: end-to-end latency (1024 sim / 24 staging nodes)",
                  "Fig. 10 (e2e latency per timestep; sharp drop at pruning)");
 
-  core::StagedPipeline managed(cfg(true), {});
+  // The managed run records spans: one per processed timestep per
+  // container, one per GM control round, one per policy evaluation. The
+  // exported JSON is the paper's Fig. 10 as an inspectable artifact.
+  trace::TraceSink sink;
+  core::StagedPipeline::Options opt;
+  opt.trace = &sink;
+  core::StagedPipeline managed(cfg(true), opt);
   managed.run();
   core::StagedPipeline unmanaged(cfg(false), {});
   unmanaged.run();
@@ -76,5 +85,53 @@ int main() {
   bench::shape_check(unmanaged_last > 4 * last,
                      "without management, end-to-end latency keeps climbing "
                      "instead of recovering");
+
+  // --- observability cross-check (docs/OBSERVABILITY.md) -------------------
+  // The trace and the monitoring hub observe the same pipeline through
+  // independent paths (ring-buffered spans vs bus-shipped samples); their
+  // per-container views must reconcile.
+  const auto spans = sink.spans();
+  std::map<std::string, std::vector<double>> durs;  // per-container, in order
+  for (const auto& s : spans) {
+    if (s.category == "container" && s.name == "step") {
+      durs[s.source].push_back(s.duration_s());
+    }
+  }
+  bool windows_agree = true;
+  bool totals_agree = true;
+  std::size_t compared = 0;
+  for (const auto& [source, d] : durs) {
+    // Windowed view: the hub's window holds the last `count` latency
+    // samples; spans were emitted at the same instants with the same
+    // start/end, so the tail means must match.
+    const std::size_t w = managed.hub().latency_window_count(source);
+    const auto avg = managed.hub().avg_latency(source);
+    if (w > 0 && w <= d.size() && avg.has_value()) {
+      double tail = 0;
+      for (std::size_t i = d.size() - w; i < d.size(); ++i) tail += d[i];
+      tail /= static_cast<double>(w);
+      windows_agree =
+          windows_agree && std::abs(tail - *avg) <= 0.01 * std::abs(*avg);
+      ++compared;
+    }
+    // Whole-run view: span totals vs the full sample history.
+    double span_total = 0;
+    for (const double v : d) span_total += v;
+    double hub_total = 0;
+    for (const auto& s :
+         managed.hub().history_for(source, mon::MetricKind::kLatency)) {
+      hub_total += s.value;
+    }
+    totals_agree = totals_agree &&
+                   std::abs(span_total - hub_total) <= 0.01 * hub_total;
+  }
+  bench::shape_check(compared > 0 && windows_agree,
+                     "per-container span tails agree with "
+                     "MonitoringHub::avg_latency to within 1%");
+  bench::shape_check(totals_agree,
+                     "per-container span totals agree with the hub's sample "
+                     "history to within 1%");
+
+  bench::write_trace(sink, "fig10_trace.json");
   return 0;
 }

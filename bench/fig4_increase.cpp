@@ -4,8 +4,12 @@
 // messages are nearly negligible, and the aprun launch cost (3-27 s,
 // dwarfing everything) is factored out because it is an artifact of the
 // batch scheduler, not of container management.
+#include <cstdlib>
+#include <memory>
+
 #include "bench_util.h"
 #include "core/runtime.h"
+#include "trace/sink.h"
 #include "util/table.h"
 
 namespace {
@@ -56,8 +60,14 @@ int main() {
   bool grows = true;
   double prev_total = 0;
   double gm_cm_max = 0;
+  // One sink per run; the export merges them as separate trace processes so
+  // each k's control round is inspectable side by side.
+  std::vector<std::unique_ptr<trace::TraceSink>> sinks;
   for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    core::StagedPipeline p(bench_spec(), {});
+    sinks.push_back(std::make_unique<trace::TraceSink>());
+    core::StagedPipeline::Options opt;
+    opt.trace = sinks.back().get();
+    core::StagedPipeline p(bench_spec(), opt);
     p.run();  // drain the single warmup step
     core::ProtocolReport rep;
     spawn(p.sim(), drive(p, k, &rep));
@@ -92,5 +102,6 @@ int main() {
   bench::shape_check(true,
                      "aprun cost (3-27 s) dwarfs all other components and is "
                      "factored out, as in the paper");
+  bench::write_trace(sinks, "fig4_trace.json");
   return 0;
 }

@@ -4,8 +4,11 @@
 // draining in-flight transfers and the victims' in-progress work — so no
 // timestep is lost; because writes are asynchronous, the pause barely
 // disturbs the upstream data flow.
+#include <memory>
+
 #include "bench_util.h"
 #include "core/runtime.h"
+#include "trace/sink.h"
 #include "util/table.h"
 
 namespace {
@@ -57,8 +60,12 @@ int main() {
   util::Table t({"replicas removed", "total (s)", "writer pause+drain (s)",
                  "endpoint update (ms)", "GM<->CM msgs (ms)"});
   bool pause_dominates = true;
+  std::vector<std::unique_ptr<trace::TraceSink>> sinks;
   for (std::uint32_t k : {1u, 2u, 4u, 8u}) {
-    core::StagedPipeline p(bench_spec(), {});
+    sinks.push_back(std::make_unique<trace::TraceSink>());
+    core::StagedPipeline::Options opt;
+    opt.trace = sinks.back().get();
+    core::StagedPipeline p(bench_spec(), opt);
     core::ProtocolReport rep;
     spawn(p.sim(), drive(p, k, &rep));
     p.run();
@@ -80,5 +87,6 @@ int main() {
   bench::shape_check(pause_dominates,
                      "waiting for upstream DataTap writers to pause (and "
                      "in-flight work to drain) dominates the decrease cost");
+  bench::write_trace(sinks, "fig5_trace.json");
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/sink.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -118,6 +119,15 @@ des::Task<void> Container::process_step(Replica* r, dt::StepData step) {
   // A step finishing while the container is being torn down must not feed
   // stale samples into the hub (they would outlive the management action).
   if (state_ != State::kOnline) co_return;
+  // The per-timestep span mirrors the latency metric exactly (same start,
+  // same end, same online gate) so trace totals reconcile with the hub.
+  if (trace::active(env_.trace)) {
+    env_.trace->span("step", "container", name(), in.step, in.ingress,
+                     env_.sim->now(),
+                     {{"queue_depth", static_cast<double>(input_->backlog())},
+                      {"bytes", static_cast<double>(in.bytes)},
+                      {"items", static_cast<double>(in.items)}});
+  }
   const std::uint32_t cadence = std::max<std::uint32_t>(1, spec_.monitor_every);
   if (steps_processed_ % cadence == 0) {
     co_await post_metric(mon::MetricKind::kLatency, in.step, lat, name());
@@ -125,6 +135,10 @@ des::Task<void> Container::process_step(Replica* r, dt::StepData step) {
                          static_cast<double>(input_->backlog()), name());
   }
   if (is_sink_) {
+    if (trace::active(env_.trace)) {
+      env_.trace->span("e2e", "pipeline", "pipeline", in.step, in.origin,
+                       env_.sim->now());
+    }
     co_await post_metric(mon::MetricKind::kEndToEnd, in.step,
                          des::to_seconds(env_.sim->now() - in.origin),
                          "pipeline");

@@ -24,6 +24,10 @@
 #include "sio/writer.h"
 #include "sp/costmodel.h"
 
+namespace ioc::trace {
+class TraceSink;
+}
+
 namespace ioc::core {
 
 class Container {
@@ -36,6 +40,10 @@ class Container {
     sio::Filesystem* fs = nullptr;
     const sp::CostModel* cost = nullptr;
     const PipelineSpec* pipeline = nullptr;
+    /// Optional span sink; when set, every processed timestep and control
+    /// round is recorded (see src/trace and docs/OBSERVABILITY.md). Null
+    /// keeps the hot path allocation- and branch-cheap.
+    trace::TraceSink* trace = nullptr;
     /// Buffering/scheduling configuration applied to the container's output
     /// stream.
     dt::StreamConfig stream_config;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/sink.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -56,6 +57,11 @@ void GlobalManager::shutdown() {
   ctl_ep_ = ev::kInvalidEndpoint;
 }
 
+CmState GlobalManager::cm_state(const std::string& container) const {
+  auto it = fsm_.find(container);
+  return it == fsm_.end() ? CmState::kIdle : it->second.state();
+}
+
 Container* GlobalManager::find(const std::string& name) const {
   for (Container* c : containers_) {
     if (c->name() == name) return c;
@@ -85,7 +91,14 @@ des::Process GlobalManager::policy_loop() {
   while (!stopping_) {
     co_await des::delay(*env_.sim, opt_.policy_interval);
     if (stopping_) break;
+    const des::SimTime t0 = env_.sim->now();
+    const std::size_t events_before = events_.size();
     co_await evaluate();
+    if (trace::active(env_.trace)) {
+      env_.trace->span(
+          "policy.round", "gm", "gm", 0, t0, env_.sim->now(),
+          {{"actions", static_cast<double>(events_.size() - events_before)}});
+    }
   }
 }
 
@@ -111,12 +124,24 @@ void GlobalManager::trace_control(const std::string& container,
 
 des::Task<ev::Message> GlobalManager::request_cm(Container* c,
                                                  ev::Message m) {
+  const std::string type = m.type;
+  const des::SimTime t0 = env_.sim->now();
   trace_control(c->name(), m.type, /*to_cm=*/true, 0);
+  const CmState from = cm_state(c->name());
   ev::Message reply = co_await env_.bus->request(ctl_ep_, c->manager_endpoint(),
                                                  std::move(m));
   int delta = 0;
   if (const auto* done = reply.as<DonePayload>()) delta = done->report.delta;
   trace_control(c->name(), reply.type, /*to_cm=*/false, delta);
+  // One span per Fig. 3 control round, labeled with the FSM edge the round
+  // drove, so a trace shows both what a round cost and why it was legal.
+  if (trace::active(env_.trace)) {
+    const std::string edge = std::string(cm_state_name(from)) + " -> " +
+                             cm_state_name(cm_state(c->name()));
+    env_.trace->span(type.c_str(), "control", c->name(), 0, t0,
+                     env_.sim->now(),
+                     {{"delta", static_cast<double>(delta)}}, edge);
+  }
   co_return reply;
 }
 

@@ -71,6 +71,10 @@ class GlobalManager {
   const std::vector<ControlTraceEvent>& control_trace() const {
     return trace_;
   }
+  /// Current Fig. 3 protocol state of a container's manager (kIdle when the
+  /// container is unknown); control-round spans label their FSM edge with
+  /// this.
+  CmState cm_state(const std::string& container) const;
   Container* find(const std::string& name) const;
 
   // --- protocol drivers ---------------------------------------------------

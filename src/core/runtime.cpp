@@ -38,6 +38,7 @@ StagedPipeline::StagedPipeline(PipelineSpec spec, Options opt)
   env.fs = fs_.get();
   env.cost = &cost_;
   env.pipeline = &spec_;
+  env.trace = opt_.trace;
   env.stream_config = scfg;
   env.upstream_width = [this](const std::string& upstream) -> std::uint32_t {
     if (upstream.empty()) {

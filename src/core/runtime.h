@@ -41,6 +41,11 @@ class StagedPipeline {
     sp::CostModelConfig cost;
     /// Interconnect model (latency, bandwidth, topology term).
     net::NetworkConfig network;
+    /// When set, containers record per-timestep spans and the global
+    /// manager records control-round/policy spans here (caller-owned; must
+    /// outlive the pipeline). Export with trace::to_chrome_json or inspect
+    /// with tools/ioc_trace — see docs/OBSERVABILITY.md.
+    trace::TraceSink* trace = nullptr;
   };
 
   StagedPipeline(PipelineSpec spec, Options opt);

@@ -19,6 +19,7 @@ MonitoringHub::MonitoringHub(std::size_t window, bool keep_history)
     auto [it, inserted] = containers_.try_emplace(s.source, window_);
     it->second.last[s.kind] = s.value;
     if (s.kind == MetricKind::kLatency) it->second.latency.add(s.value);
+    update_metrics(s);
   });
   auto keep = stones_.add_terminal([this](const MetricSample& s) {
     if (keep_history_) history_.push_back(s);
@@ -41,12 +42,55 @@ std::optional<double> MonitoringHub::avg_latency(
   return it->second.latency.mean();
 }
 
-double MonitoringHub::last_value(const std::string& container,
-                                 MetricKind k) const {
+std::size_t MonitoringHub::latency_window_count(
+    const std::string& container) const {
   auto it = containers_.find(container);
-  if (it == containers_.end()) return 0.0;
+  return it == containers_.end() ? 0 : it->second.latency.count();
+}
+
+std::optional<double> MonitoringHub::last_value(const std::string& container,
+                                                MetricKind k) const {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return std::nullopt;
   auto lit = it->second.last.find(k);
-  return lit == it->second.last.end() ? 0.0 : lit->second;
+  if (lit == it->second.last.end()) return std::nullopt;
+  return lit->second;
+}
+
+void MonitoringHub::update_metrics(const MetricSample& s) {
+  metrics_
+      .counter("ioc_samples_total",
+               std::string("kind=\"") + metric_kind_name(s.kind) + "\"",
+               "Monitoring samples ingested by the hub.")
+      .inc();
+  switch (s.kind) {
+    case MetricKind::kLatency:
+      metrics_
+          .histogram("ioc_container_latency_seconds",
+                     "container=\"" + s.source + "\"",
+                     "Per-timestep entry-to-exit latency per container.")
+          .observe(s.value);
+      break;
+    case MetricKind::kEndToEnd:
+      metrics_
+          .histogram("ioc_end_to_end_seconds", "",
+                     "Simulation-emission to pipeline-exit latency.")
+          .observe(s.value);
+      break;
+    case MetricKind::kQueueDepth:
+      metrics_
+          .gauge("ioc_queue_depth", "container=\"" + s.source + "\"",
+                 "Undelivered steps waiting in the container's input.")
+          .set(s.value);
+      break;
+    case MetricKind::kThroughput:
+      metrics_
+          .gauge("ioc_throughput_steps_per_second",
+                 "container=\"" + s.source + "\"",
+                 "Steps per second completed by the container.")
+          .set(s.value);
+      break;
+  }
 }
 
 std::optional<std::string> MonitoringHub::bottleneck(

@@ -1,8 +1,8 @@
 // The global manager's aggregate view of the pipeline: ingests metric
 // samples (routed through an EVPath-style stone graph), keeps windowed
-// per-container statistics, and answers the bottleneck question — the
-// container with the longest average latency, exactly as Section III-E
-// defines it.
+// per-container statistics plus a counter/histogram registry, and answers
+// the bottleneck question — the container with the longest average
+// latency, exactly as Section III-E defines it.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +13,7 @@
 
 #include "ev/stone.h"
 #include "mon/metric.h"
+#include "trace/metrics.h"
 #include "util/stats.h"
 
 namespace ioc::mon {
@@ -27,7 +28,13 @@ class MonitoringHub {
 
   /// Windowed average latency for a container; nullopt if never seen.
   std::optional<double> avg_latency(const std::string& container) const;
-  double last_value(const std::string& container, MetricKind k) const;
+  /// Samples currently inside the container's latency window (0 after a
+  /// reset_container or for an unknown container).
+  std::size_t latency_window_count(const std::string& container) const;
+  /// Most recent value of a metric kind; nullopt if the container never
+  /// reported that kind.
+  std::optional<double> last_value(const std::string& container,
+                                   MetricKind k) const;
   std::uint64_t samples_seen() const { return samples_seen_; }
 
   /// The container with the highest windowed average latency, restricted to
@@ -43,6 +50,14 @@ class MonitoringHub {
   std::vector<MetricSample> history_for(const std::string& source,
                                         MetricKind k) const;
 
+  /// Whole-run counters and histograms (never reset by management actions,
+  /// unlike the windows): ioc_samples_total{kind=...},
+  /// ioc_container_latency_seconds{container=...},
+  /// ioc_end_to_end_seconds, ioc_queue_depth{container=...}.
+  const trace::MetricsRegistry& metrics() const { return metrics_; }
+  /// Prometheus text-format snapshot of those aggregates.
+  std::string prometheus() const { return metrics_.to_prometheus(); }
+
  private:
   struct PerContainer {
     util::WindowedMean latency;
@@ -50,11 +65,14 @@ class MonitoringHub {
     explicit PerContainer(std::size_t window) : latency(window) {}
   };
 
+  void update_metrics(const MetricSample& s);
+
   std::size_t window_;
   bool keep_history_;
   std::map<std::string, PerContainer> containers_;
   std::vector<MetricSample> history_;
   std::uint64_t samples_seen_ = 0;
+  trace::MetricsRegistry metrics_;
 
   // Stones: a filter keeps latency samples flowing into the windows, a
   // split keeps the raw history; structured this way so custom overlays can

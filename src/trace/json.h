@@ -1,0 +1,46 @@
+// Minimal recursive-descent JSON reader used by the trace importer and the
+// ioc_trace CLI. Supports the full value grammar the exporters emit
+// (objects, arrays, strings with escapes, numbers, booleans, null); it is
+// not a general-purpose validating parser and keeps no source locations
+// beyond a byte offset in error messages.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ioc::trace::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// First member with this key, or nullptr (objects preserve input order).
+  const Value* find(const std::string& key) const;
+  /// Member lookups with typed fallbacks, for tolerant importers.
+  double num_or(const std::string& key, double fallback = 0) const;
+  std::string str_or(const std::string& key,
+                     const std::string& fallback = "") const;
+};
+
+/// Parse `text` into `*out`. Returns false (and sets `*error`, if given, to
+/// a byte-offset message) on malformed input or trailing garbage.
+bool parse(std::string_view text, Value* out, std::string* error = nullptr);
+
+/// Escape a string for embedding inside a JSON string literal (no quotes).
+std::string escape(const std::string& s);
+
+}  // namespace ioc::trace::json

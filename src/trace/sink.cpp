@@ -1,0 +1,198 @@
+#include "trace/sink.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "trace/json.h"
+
+namespace ioc::trace {
+
+TraceSink::TraceSink(std::size_t capacity) {
+  ring_.resize(std::max<std::size_t>(capacity, 1));
+}
+
+void TraceSink::span(const char* name, const char* category,
+                     std::string_view source, std::uint64_t step,
+                     des::SimTime start, des::SimTime end,
+                     std::initializer_list<SpanArg> args,
+                     std::string_view detail) {
+  if (!enabled_) return;
+  SpanRecord& slot = ring_[next_];
+  next_ = (next_ + 1) % ring_.size();
+  ++recorded_;
+  slot.name = name;
+  slot.category = category;
+  slot.source = source;
+  slot.detail = detail;
+  slot.step = step;
+  slot.start = start;
+  slot.end = end;
+  slot.arg_count = 0;
+  for (const SpanArg& a : args) {
+    if (slot.arg_count == SpanRecord::kMaxArgs) break;
+    StoredArg& stored = slot.args[slot.arg_count++];
+    stored.key = a.key;
+    stored.value = a.value;
+  }
+}
+
+std::size_t TraceSink::size() const {
+  return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                  : ring_.size();
+}
+
+std::uint64_t TraceSink::dropped() const { return recorded_ - size(); }
+
+void TraceSink::clear() {
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<SpanRecord> TraceSink::spans() const {
+  std::vector<SpanRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest first: when the ring has wrapped, the slot at next_ is oldest.
+  const std::size_t begin = recorded_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(begin + i) % ring_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+// Virtual nanoseconds → trace_event microseconds, exact to the printed
+// three decimals so import round-trips to the same SimTime.
+std::string us(des::SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                static_cast<double>(t) / 1000.0);
+  return buf;
+}
+
+des::SimTime us_to_simtime(double us_value) {
+  return static_cast<des::SimTime>(std::llround(us_value * 1000.0));
+}
+
+void emit_events(const std::vector<SpanRecord>& spans, int pid,
+                 std::ostringstream& os, bool* first) {
+  // Stable small integer ids per source, with "M" metadata naming them.
+  std::map<std::string, int> tids;
+  for (const auto& s : spans) {
+    if (tids.count(s.source) != 0) continue;
+    const int tid = static_cast<int>(tids.size()) + 1;
+    tids[s.source] = tid;
+    if (!*first) os << ",\n";
+    *first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+       << json::escape(s.source) << "\"}}";
+  }
+  for (const auto& s : spans) {
+    if (!*first) os << ",\n";
+    *first = false;
+    os << "{\"name\":\"" << json::escape(s.name) << "\",\"cat\":\""
+       << json::escape(s.category) << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << tids[s.source] << ",\"ts\":" << us(s.start)
+       << ",\"dur\":" << us(s.duration()) << ",\"args\":{\"step\":" << s.step;
+    for (std::uint32_t i = 0; i < s.arg_count; ++i) {
+      char val[32];
+      std::snprintf(val, sizeof val, "%.17g", s.args[i].value);
+      os << ",\"" << json::escape(s.args[i].key) << "\":" << val;
+    }
+    if (!s.detail.empty()) {
+      os << ",\"detail\":\"" << json::escape(s.detail) << "\"";
+    }
+    os << "}}";
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<const TraceSink*>& sinks) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  int pid = 0;
+  for (const TraceSink* sink : sinks) {
+    ++pid;
+    if (sink != nullptr) emit_events(sink->spans(), pid, os, &first);
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string to_chrome_json(const TraceSink& sink) {
+  return to_chrome_json(std::vector<const TraceSink*>{&sink});
+}
+
+std::string to_chrome_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  emit_events(spans, 1, os, &first);
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool from_chrome_json(const std::string& text, std::vector<SpanRecord>* out,
+                      std::string* error) {
+  out->clear();
+  json::Value root;
+  if (!json::parse(text, &root, error)) return false;
+  const json::Value* events = nullptr;
+  if (root.is_array()) {
+    events = &root;  // the bare-array trace_event variant
+  } else if (root.is_object()) {
+    events = root.find("traceEvents");
+  }
+  if (events == nullptr || !events->is_array()) {
+    if (error != nullptr) *error = "no traceEvents array";
+    return false;
+  }
+  std::map<std::pair<int, int>, std::string> thread_names;
+  for (const auto& e : events->array) {
+    if (!e.is_object()) continue;
+    if (e.str_or("ph") != "M" || e.str_or("name") != "thread_name") continue;
+    const json::Value* args = e.find("args");
+    if (args == nullptr || !args->is_object()) continue;
+    thread_names[{static_cast<int>(e.num_or("pid", 1)),
+                  static_cast<int>(e.num_or("tid", 0))}] =
+        args->str_or("name");
+  }
+  for (const auto& e : events->array) {
+    if (!e.is_object() || e.str_or("ph") != "X") continue;
+    SpanRecord s;
+    s.name = e.str_or("name");
+    s.category = e.str_or("cat");
+    s.start = us_to_simtime(e.num_or("ts", 0));
+    s.end = s.start + us_to_simtime(e.num_or("dur", 0));
+    const auto key = std::make_pair(static_cast<int>(e.num_or("pid", 1)),
+                                    static_cast<int>(e.num_or("tid", 0)));
+    if (auto it = thread_names.find(key); it != thread_names.end()) {
+      s.source = it->second;
+    }
+    if (const json::Value* args = e.find("args");
+        args != nullptr && args->is_object()) {
+      for (const auto& [k, v] : args->object) {
+        if (k == "step" && v.is_number()) {
+          s.step = static_cast<std::uint64_t>(v.number);
+        } else if (k == "detail" && v.is_string()) {
+          s.detail = v.str;
+        } else if (v.is_number() && s.arg_count < SpanRecord::kMaxArgs) {
+          StoredArg& stored = s.args[s.arg_count++];
+          stored.key = k;
+          stored.value = v.number;
+        }
+      }
+    }
+    out->push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace ioc::trace

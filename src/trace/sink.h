@@ -1,0 +1,73 @@
+// Ring-buffered collector for completed spans, and the Chrome trace_event
+// exporter/importer. Bounded by construction: the newest spans win and an
+// overwrite counter records what aged out, so tracing can stay on for a
+// whole campaign without growing memory (the Section III-E perturbation
+// bound, applied to the monitoring layer itself). The disabled path is a
+// single inline null/flag check — see trace::active — and allocates
+// nothing; tests/trace_test.cpp holds an allocation-counting guard on it.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "des/time.h"
+#include "trace/span.h"
+
+namespace ioc::trace {
+
+class TraceSink {
+ public:
+  /// `capacity`: span slots preallocated up front; recording past it
+  /// overwrites the oldest span.
+  explicit TraceSink(std::size_t capacity = 65536);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Record one completed span. Argument keys must be string literals (or
+  /// otherwise outlive the call); at most SpanRecord::kMaxArgs are kept.
+  void span(const char* name, const char* category, std::string_view source,
+            std::uint64_t step, des::SimTime start, des::SimTime end,
+            std::initializer_list<SpanArg> args = {},
+            std::string_view detail = {});
+
+  /// Retained spans, oldest first.
+  std::vector<SpanRecord> spans() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return ring_.size(); }
+  /// Spans ever recorded / lost to ring overwrite.
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;       // slot the next span lands in
+  std::uint64_t recorded_ = 0;
+  bool enabled_ = true;
+};
+
+/// The hot-path guard: emit spans only under `if (trace::active(sink))`.
+inline bool active(const TraceSink* s) {
+  return s != nullptr && s->enabled();
+}
+
+/// Serialize to Chrome trace_event JSON (load via chrome://tracing or
+/// https://ui.perfetto.dev). Each sink becomes one process (pid = index+1);
+/// each span source becomes a named thread within it.
+std::string to_chrome_json(const std::vector<const TraceSink*>& sinks);
+std::string to_chrome_json(const TraceSink& sink);
+/// Serialize loose span records (e.g. re-exporting an imported trace).
+std::string to_chrome_json(const std::vector<SpanRecord>& spans);
+
+/// Parse a Chrome trace JSON produced by to_chrome_json (or a compatible
+/// tool) back into span records, oldest first. Only "X" (complete) events
+/// are imported; "M" thread_name metadata restores span sources. Returns
+/// false and sets `*error` on malformed input.
+bool from_chrome_json(const std::string& text, std::vector<SpanRecord>* out,
+                      std::string* error = nullptr);
+
+}  // namespace ioc::trace

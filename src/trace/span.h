@@ -1,0 +1,59 @@
+// Span data model for the structured tracing layer (paper Section III-E
+// made inspectable): one record per interval of interest — a timestep's
+// entry→exit passage through a container, a GM↔CM control round, a policy
+// evaluation — carrying virtual start/end times and a handful of numeric
+// arguments. Records are plain values so a sink can keep them in a
+// preallocated ring and exporters can serialize them without touching the
+// runtime.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "des/time.h"
+
+namespace ioc::trace {
+
+/// Call-site view of one span argument. Keys are string literals so
+/// building the initializer list allocates nothing.
+struct SpanArg {
+  const char* key;
+  double value;
+};
+
+/// One argument as stored in the ring (key copied; short keys stay SSO).
+struct StoredArg {
+  std::string key;
+  double value = 0;
+};
+
+/// A completed interval. `source` is the emitting entity (container name,
+/// "gm", "pipeline"); `category` groups spans for the exporters
+/// ("container", "control", "gm"); `detail` carries an optional
+/// human-readable annotation (e.g. the Fig. 3 FSM edge of a control round).
+struct SpanRecord {
+  static constexpr std::size_t kMaxArgs = 4;
+
+  std::string name;
+  std::string category;
+  std::string source;
+  std::string detail;
+  std::uint64_t step = 0;
+  des::SimTime start = 0;
+  des::SimTime end = 0;
+  std::array<StoredArg, kMaxArgs> args;
+  std::uint32_t arg_count = 0;
+
+  des::SimTime duration() const { return end - start; }
+  double duration_s() const { return des::to_seconds(duration()); }
+  /// Value of the named argument, or `fallback` if absent.
+  double arg_or(const std::string& key, double fallback = 0) const {
+    for (std::uint32_t i = 0; i < arg_count; ++i) {
+      if (args[i].key == key) return args[i].value;
+    }
+    return fallback;
+  }
+};
+
+}  // namespace ioc::trace

@@ -52,11 +52,27 @@ TEST(Hub, LastValuePerKind) {
   q.value = 12;
   hub.ingest(q);
   hub.ingest(lat("bonds", 3));
-  EXPECT_DOUBLE_EQ(hub.last_value("bonds", MetricKind::kQueueDepth), 12);
-  EXPECT_DOUBLE_EQ(hub.last_value("bonds", MetricKind::kLatency), 3);
-  EXPECT_DOUBLE_EQ(hub.last_value("bonds", MetricKind::kThroughput), 0);
+  EXPECT_DOUBLE_EQ(hub.last_value("bonds", MetricKind::kQueueDepth).value(),
+                   12);
+  EXPECT_DOUBLE_EQ(hub.last_value("bonds", MetricKind::kLatency).value(), 3);
+  // Never-reported kinds and unknown containers are distinguishable from a
+  // measured 0.
+  EXPECT_FALSE(hub.last_value("bonds", MetricKind::kThroughput).has_value());
+  EXPECT_FALSE(hub.last_value("nope", MetricKind::kLatency).has_value());
   // Queue-depth samples do not pollute the latency window.
   EXPECT_DOUBLE_EQ(hub.avg_latency("bonds").value(), 3.0);
+}
+
+TEST(Hub, LastValueZeroIsSeen) {
+  MonitoringHub hub;
+  MetricSample q;
+  q.source = "bonds";
+  q.kind = MetricKind::kQueueDepth;
+  q.value = 0;
+  hub.ingest(q);
+  ASSERT_TRUE(hub.last_value("bonds", MetricKind::kQueueDepth).has_value());
+  EXPECT_DOUBLE_EQ(hub.last_value("bonds", MetricKind::kQueueDepth).value(),
+                   0);
 }
 
 TEST(Hub, ResetClearsWindowAfterManagementAction) {
@@ -85,6 +101,48 @@ TEST(Hub, HistoryCanBeDisabled) {
   hub.ingest(lat("a", 1));
   EXPECT_TRUE(hub.history().empty());
   EXPECT_DOUBLE_EQ(hub.avg_latency("a").value(), 1.0);
+}
+
+TEST(Hub, LatencyWindowCountTracksWindowAndResets) {
+  MonitoringHub hub(3);
+  EXPECT_EQ(hub.latency_window_count("bonds"), 0u);
+  hub.ingest(lat("bonds", 1));
+  hub.ingest(lat("bonds", 2));
+  EXPECT_EQ(hub.latency_window_count("bonds"), 2u);
+  hub.ingest(lat("bonds", 3));
+  hub.ingest(lat("bonds", 4));  // window slides, stays at capacity
+  EXPECT_EQ(hub.latency_window_count("bonds"), 3u);
+  hub.reset_container("bonds");
+  EXPECT_EQ(hub.latency_window_count("bonds"), 0u);
+}
+
+TEST(Hub, MetricsRegistryAggregatesWholeRun) {
+  MonitoringHub hub(2);
+  hub.ingest(lat("bonds", 0.2));
+  hub.ingest(lat("bonds", 4.0));
+  MetricSample q;
+  q.source = "bonds";
+  q.kind = MetricKind::kQueueDepth;
+  q.value = 7;
+  hub.ingest(q);
+  // Management actions reset windows but never the registry aggregates.
+  hub.reset_container("bonds");
+
+  const std::string prom = hub.prometheus();
+  EXPECT_NE(prom.find("ioc_samples_total{kind=\"latency\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ioc_samples_total{kind=\"queue-depth\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ioc_queue_depth{container=\"bonds\"} 7"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ioc_container_latency_seconds_count"
+                      "{container=\"bonds\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ioc_container_latency_seconds_sum"
+                      "{container=\"bonds\"} 4.2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE ioc_container_latency_seconds histogram"),
+            std::string::npos);
 }
 
 TEST(MetricKindNames, AllNamed) {

@@ -1,0 +1,173 @@
+// ioc_trace: inspect recorded trace JSON (the Chrome trace_event files the
+// benches and StagedPipeline::Options::trace produce) without loading a
+// browser. Summarize span populations, rank the slowest spans, or re-export
+// as normalized Chrome JSON / a Prometheus-style aggregate snapshot.
+//
+// Exit codes: 0 success, 2 usage error or unreadable/malformed trace.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/metrics.h"
+#include "trace/sink.h"
+#include "util/table.h"
+
+namespace {
+
+using ioc::trace::SpanRecord;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ioc_trace <command> [options] <trace.json>\n"
+      "\n"
+      "commands:\n"
+      "  summarize                   per-source/category rollup of span\n"
+      "                              counts and durations\n"
+      "  top [-n N]                  the N slowest spans (default 10)\n"
+      "  export [--format=chrome|prom]\n"
+      "                              re-emit normalized Chrome trace JSON\n"
+      "                              (default) or a Prometheus-style\n"
+      "                              aggregate of the span durations\n"
+      "\n"
+      "Traces come from bench/fig4_increase, bench/fig5_decrease,\n"
+      "bench/fig10_end_to_end (IOC_TRACE_OUT overrides the output path) or\n"
+      "any ioc::trace::to_chrome_json call. See docs/OBSERVABILITY.md.\n");
+  return 2;
+}
+
+bool load(const std::string& path, std::vector<SpanRecord>* spans) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ioc_trace: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  if (!ioc::trace::from_chrome_json(buf.str(), spans, &error)) {
+    std::fprintf(stderr, "ioc_trace: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+struct Rollup {
+  std::uint64_t count = 0;
+  double total_s = 0;
+  double max_s = 0;
+};
+
+int cmd_summarize(const std::vector<SpanRecord>& spans,
+                  const std::string& path) {
+  std::map<std::pair<std::string, std::string>, Rollup> by_series;
+  for (const auto& s : spans) {
+    Rollup& r = by_series[{s.category, s.source}];
+    ++r.count;
+    r.total_s += s.duration_s();
+    r.max_s = std::max(r.max_s, s.duration_s());
+  }
+  std::printf("%s: %zu spans, %zu series\n\n", path.c_str(), spans.size(),
+              by_series.size());
+  ioc::util::Table t(
+      {"category", "source", "spans", "total (s)", "mean (s)", "max (s)"});
+  for (const auto& [key, r] : by_series) {
+    t.add_row({key.first, key.second,
+               ioc::util::Table::num(static_cast<long long>(r.count)),
+               ioc::util::Table::num(r.total_s, 3),
+               ioc::util::Table::num(r.total_s / static_cast<double>(r.count),
+                                     3),
+               ioc::util::Table::num(r.max_s, 3)});
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_top(const std::vector<SpanRecord>& spans, std::size_t n) {
+  std::vector<const SpanRecord*> order;
+  order.reserve(spans.size());
+  for (const auto& s : spans) order.push_back(&s);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     return a->duration() > b->duration();
+                   });
+  if (order.size() > n) order.resize(n);
+  ioc::util::Table t(
+      {"dur (s)", "name", "category", "source", "step", "detail"});
+  for (const SpanRecord* s : order) {
+    t.add_row({ioc::util::Table::num(s->duration_s(), 3), s->name,
+               s->category, s->source,
+               ioc::util::Table::num(static_cast<long long>(s->step)),
+               s->detail});
+  }
+  t.print("slowest spans:");
+  return 0;
+}
+
+int cmd_export(const std::vector<SpanRecord>& spans,
+               const std::string& format) {
+  if (format == "chrome") {
+    std::fputs(ioc::trace::to_chrome_json(spans).c_str(), stdout);
+    return 0;
+  }
+  if (format == "prom") {
+    ioc::trace::MetricsRegistry reg;
+    for (const auto& s : spans) {
+      reg.counter("ioc_spans_total", "category=\"" + s.category + "\"",
+                  "Spans recorded, by category.")
+          .inc();
+      reg.histogram("ioc_span_seconds",
+                    "category=\"" + s.category + "\",source=\"" + s.source +
+                        "\"",
+                    "Span durations, by category and source.")
+          .observe(s.duration_s());
+    }
+    std::fputs(reg.to_prometheus().c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "ioc_trace: unknown export format '%s'\n",
+               format.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string cmd = args.front();
+  args.erase(args.begin());
+
+  std::size_t top_n = 10;
+  std::string format = "chrome";
+  std::string path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "-n" && i + 1 < args.size()) {
+      top_n = static_cast<std::size_t>(std::strtoul(args[++i].c_str(),
+                                                    nullptr, 10));
+      if (top_n == 0) return usage();
+    } else if (a.rfind("--format=", 0) == 0) {
+      format = a.substr(std::strlen("--format="));
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::vector<SpanRecord> spans;
+  if (!load(path, &spans)) return 2;
+  if (cmd == "summarize") return cmd_summarize(spans, path);
+  if (cmd == "top") return cmd_top(spans, top_n);
+  if (cmd == "export") return cmd_export(spans, format);
+  return usage();
+}
