@@ -1,7 +1,20 @@
 // google-benchmark microbenchmarks of the real SmartPointer analytics
 // kernels and the mini-LAMMPS force loop — the compute costs the DES cost
-// model abstracts (see sp/costmodel.h for the calibration).
+// model abstracts (see sp/costmodel.h for the calibration). Each threaded
+// kernel runs a (size x threads) grid; threads == 1 takes the exact pre-
+// parallel serial path so the baseline column is the historical cost.
+//
+// Besides the console table, the binary writes a machine-readable baseline
+// (default BENCH_kernels.json, override with IOC_BENCH_JSON): ns/atom per
+// kernel x size x thread count, the artifact docs/PERFORMANCE.md reads and
+// tools/bench_check validates in CI.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "md/force_lj.h"
 #include "md/lattice.h"
@@ -21,27 +34,41 @@ md::AtomData crystal(std::int64_t cells) {
                       md::kLjFccLatticeConstant);
 }
 
+void set_kernel_counters(benchmark::State& state, std::size_t atoms,
+                         unsigned threads) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(atoms));
+  state.counters["atoms"] = static_cast<double>(atoms);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 void BM_LjForce(benchmark::State& state) {
   auto atoms = crystal(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
   md::LjForce lj;
+  md::CellList cells(atoms.box, lj.params().cutoff * lj.params().sigma);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lj.compute(atoms));
+    if (threads <= 1) {
+      benchmark::DoNotOptimize(lj.compute(atoms));  // historical serial path
+    } else {
+      benchmark::DoNotOptimize(lj.compute(atoms, cells, threads));
+    }
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(atoms.size()));
+  set_kernel_counters(state, atoms.size(), threads);
 }
-BENCHMARK(BM_LjForce)->Arg(4)->Arg(8);
+BENCHMARK(BM_LjForce)->ArgsProduct({{4, 8}, {1, 2, 4, 8}});
 
 void BM_Bonds(benchmark::State& state) {
   auto atoms = crystal(state.range(0));
-  sp::BondAnalysis bonds;
+  sp::BondsConfig cfg;
+  cfg.threads = static_cast<unsigned>(state.range(1));
+  sp::BondAnalysis bonds(cfg);
   for (auto _ : state) {
     benchmark::DoNotOptimize(bonds.compute(atoms));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(atoms.size()));
+  set_kernel_counters(state, atoms.size(), cfg.threads);
 }
-BENCHMARK(BM_Bonds)->Arg(4)->Arg(8);
+BENCHMARK(BM_Bonds)->ArgsProduct({{4, 8}, {1, 2, 4, 8}});
 
 void BM_BondsNaive(benchmark::State& state) {
   auto atoms = crystal(state.range(0));
@@ -49,30 +76,34 @@ void BM_BondsNaive(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(bonds.compute_naive(atoms));
   }
+  set_kernel_counters(state, atoms.size(), 1);
 }
 BENCHMARK(BM_BondsNaive)->Arg(4)->Arg(6);
 
 void BM_Csym(benchmark::State& state) {
   auto atoms = crystal(state.range(0));
-  sp::CentralSymmetry csym;
+  sp::CsymConfig cfg;
+  cfg.threads = static_cast<unsigned>(state.range(1));
+  sp::CentralSymmetry csym(cfg);
   for (auto _ : state) {
     benchmark::DoNotOptimize(csym.compute(atoms));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(atoms.size()));
+  set_kernel_counters(state, atoms.size(), cfg.threads);
 }
-BENCHMARK(BM_Csym)->Arg(4)->Arg(8);
+BENCHMARK(BM_Csym)->ArgsProduct({{4, 8}, {1, 2, 4, 8}});
 
 void BM_Cna(benchmark::State& state) {
   auto atoms = crystal(state.range(0));
-  sp::CommonNeighborAnalysis cna({0.854 * md::kLjFccLatticeConstant});
+  sp::CnaConfig cfg;
+  cfg.cutoff = 0.854 * md::kLjFccLatticeConstant;
+  cfg.threads = static_cast<unsigned>(state.range(1));
+  sp::CommonNeighborAnalysis cna(cfg);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cna.classify(atoms));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(atoms.size()));
+  set_kernel_counters(state, atoms.size(), cfg.threads);
 }
-BENCHMARK(BM_Cna)->Arg(4)->Arg(8);
+BENCHMARK(BM_Cna)->ArgsProduct({{4, 8}, {1, 2, 4, 8}});
 
 void BM_HelperAggregate(benchmark::State& state) {
   auto atoms = crystal(8);
@@ -85,6 +116,105 @@ void BM_HelperAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_HelperAggregate)->Arg(4)->Arg(16)->Arg(64);
 
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json emission
+
+struct BenchRow {
+  std::string benchmark;  ///< full name, e.g. "BM_LjForce/8/4"
+  std::string kernel;     ///< stable kernel id, e.g. "lj_force"
+  std::int64_t size = 0;  ///< first benchmark argument (lattice cells)
+  std::int64_t atoms = 0;
+  std::int64_t threads = 0;
+  double ns_per_atom = 0;
+  std::int64_t iterations = 0;
+};
+
+std::string kernel_id(const std::string& function_name) {
+  if (function_name == "BM_LjForce") return "lj_force";
+  if (function_name == "BM_Bonds") return "bonds";
+  if (function_name == "BM_BondsNaive") return "bonds_naive";
+  if (function_name == "BM_Csym") return "csym";
+  if (function_name == "BM_Cna") return "cna";
+  return "";
+}
+
+/// Console output as usual, plus one BenchRow per run that carries the
+/// atoms/threads counters (the kernel benchmarks; helper-tree runs are
+/// console-only — their cost is per chunk, not per atom).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& r : reports) {
+      if (r.error_occurred) continue;
+      const auto atoms = r.counters.find("atoms");
+      const auto threads = r.counters.find("threads");
+      const std::string kernel = kernel_id(r.run_name.function_name);
+      if (atoms == r.counters.end() || threads == r.counters.end() ||
+          kernel.empty() || atoms->second.value <= 0) {
+        continue;
+      }
+      BenchRow row;
+      row.benchmark = r.benchmark_name();
+      row.kernel = kernel;
+      row.size = std::strtoll(r.run_name.args.c_str(), nullptr, 10);
+      row.atoms = static_cast<std::int64_t>(atoms->second.value);
+      row.threads = static_cast<std::int64_t>(threads->second.value);
+      // GetAdjustedRealTime is in the benchmark's time unit (default ns).
+      row.ns_per_atom = r.GetAdjustedRealTime() / atoms->second.value;
+      row.iterations = static_cast<std::int64_t>(r.iterations);
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<BenchRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<BenchRow> rows_;
+};
+
+bool write_json(const std::string& path, const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "kernel_microbench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"ioc.bench.kernels/v1\",\n"
+               "  \"unit\": \"ns_per_atom\",\n"
+               "  \"threads_available\": %u,\n"
+               "  \"results\": [\n",
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"benchmark\": \"%s\", \"kernel\": \"%s\", "
+                 "\"size\": %lld, \"atoms\": %lld, \"threads\": %lld, "
+                 "\"ns_per_atom\": %.4f, \"iterations\": %lld}%s\n",
+                 r.benchmark.c_str(), r.kernel.c_str(),
+                 static_cast<long long>(r.size),
+                 static_cast<long long>(r.atoms),
+                 static_cast<long long>(r.threads), r.ns_per_atom,
+                 static_cast<long long>(r.iterations),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu results)\n", path.c_str(), rows.size());
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* out = std::getenv("IOC_BENCH_JSON");
+  const bool ok = write_json(out != nullptr ? out : "BENCH_kernels.json",
+                             reporter.rows());
+  benchmark::Shutdown();
+  return ok ? 0 : 1;
+}

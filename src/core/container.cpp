@@ -73,14 +73,15 @@ void Container::add_replica(net::NodeId node) {
 
 double Container::service_seconds(std::uint64_t items) const {
   return env_.cost->step_seconds(spec_.kind, spec_.model, items,
-                                 std::max<std::uint32_t>(width(), 1));
+                                 std::max<std::uint32_t>(width(), 1),
+                                 spec_.threads_per_node);
 }
 
 std::uint32_t Container::nodes_needed(std::uint64_t items) const {
   if (items == 0) return 0;
   const double target = 1.0 / env_.pipeline->output_interval_s;
   const std::uint32_t needed = env_.cost->width_for_throughput(
-      spec_.kind, spec_.model, items, target);
+      spec_.kind, spec_.model, items, target, spec_.threads_per_node);
   return needed > width() ? needed - width() : 0;
 }
 
@@ -475,7 +476,8 @@ des::Process Container::manager_loop() {
       NeedsPayload needs;
       needs.extra_nodes = nodes_needed(last_items_);
       needs.predicted_latency = env_.cost->step_seconds(
-          spec_.kind, spec_.model, last_items_, width() + needs.extra_nodes);
+          spec_.kind, spec_.model, last_items_, width() + needs.extra_nodes,
+          spec_.threads_per_node);
       reply.type = kMsgNeeds;
       reply.payload = needs;
     } else if (msg->type == kMsgSwitchToDisk) {

@@ -141,6 +141,8 @@ PipelineSpec PipelineSpec::from_config(const util::Config& cfg) {
     c.stateful = s->get_bool("stateful", false);
     c.state_bytes = static_cast<std::uint64_t>(
         s->get_int("state_bytes", static_cast<std::int64_t>(c.state_bytes)));
+    c.threads_per_node =
+        static_cast<std::uint32_t>(s->get_int("threads", 1));
     c.monitor_every =
         static_cast<std::uint32_t>(s->get_int("monitor_every", 1));
     c.deadline_s = s->get_double("deadline_s", 0.0);

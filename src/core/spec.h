@@ -43,6 +43,10 @@ struct ContainerSpec {
   /// replica to the resize protocols.
   bool stateful = false;
   std::uint64_t state_bytes = 256ull * 1024 * 1024;
+  /// Kernel threads each instance runs on its node (the src/par runtime).
+  /// Feeds the cost model's within-node thread speedup — the "speedup
+  /// properties" a local manager reasons over when sizing the container.
+  std::uint32_t threads_per_node = 1;
   /// Monitoring cadence (Section III-E: "how often they are captured"):
   /// emit latency/queue samples every k completed steps.
   std::uint32_t monitor_every = 1;

@@ -1,22 +1,30 @@
 #include "md/cells.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#include "par/thread_pool.h"
 
 namespace ioc::md {
 
-CellList::CellList(const Box& box, double cutoff)
-    : box_(box), cutoff_(cutoff) {
+CellList::CellList(const Box& box, double cutoff, double skin)
+    : box_(box), cutoff_(cutoff), skin_(skin) {
+  configure(box);
+}
+
+void CellList::configure(const Box& box) {
+  box_ = box;
   const Vec3 len = box.extent();
-  nx_ = static_cast<std::size_t>(std::floor(len.x / cutoff));
-  ny_ = static_cast<std::size_t>(std::floor(len.y / cutoff));
-  nz_ = static_cast<std::size_t>(std::floor(len.z / cutoff));
+  const double bin = cutoff_ + skin_;
+  nx_ = static_cast<std::size_t>(std::floor(len.x / bin));
+  ny_ = static_cast<std::size_t>(std::floor(len.y / bin));
+  nz_ = static_cast<std::size_t>(std::floor(len.z / bin));
   // A 3x3x3 stencil needs at least 3 cells per periodic dimension.
   use_cells_ = nx_ >= 3 && ny_ >= 3 && nz_ >= 3;
   if (!use_cells_) {
     nx_ = ny_ = nz_ = 1;
   }
-  cells_.resize(nx_ * ny_ * nz_);
 }
 
 std::size_t CellList::cell_of(const Vec3& p) const {
@@ -35,75 +43,114 @@ std::size_t CellList::cell_of(const Vec3& p) const {
 }
 
 void CellList::build(const std::vector<Vec3>& pos) {
-  for (auto& c : cells_) c.clear();
-  for (std::size_t i = 0; i < pos.size(); ++i) {
-    cells_[cell_of(pos[i])].push_back(static_cast<std::uint32_t>(i));
+  natoms_ = pos.size();
+  ++builds_;
+  const std::size_t ncells = nx_ * ny_ * nz_;
+  // Counting sort into the CSR arrays. Scattering atoms in ascending index
+  // order keeps each cell's atoms ascending, which keeps pair enumeration
+  // order (and therefore serial floating-point sums) identical to the
+  // historical vector-of-vectors layout.
+  std::vector<std::uint32_t> cell_index(natoms_);
+  cell_start_.assign(ncells + 1, 0);
+  for (std::size_t i = 0; i < natoms_; ++i) {
+    const std::size_t c = cell_of(pos[i]);
+    cell_index[i] = static_cast<std::uint32_t>(c);
+    ++cell_start_[c + 1];
   }
+  for (std::size_t c = 0; c < ncells; ++c) cell_start_[c + 1] += cell_start_[c];
+  cell_atoms_.resize(natoms_);
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < natoms_; ++i) {
+    cell_atoms_[cursor[cell_index[i]]++] = static_cast<std::uint32_t>(i);
+  }
+  if (skin_ > 0.0) build_pos_ = pos;
 }
 
-void CellList::for_each_pair(
-    const std::vector<Vec3>& pos,
-    const std::function<void(std::size_t, std::size_t, double)>& fn) const {
-  const double rc2 = cutoff_ * cutoff_;
-  if (!use_cells_) {
+bool CellList::update(const Box& box, const std::vector<Vec3>& pos) {
+  const Vec3 a = box.lo - box_.lo;
+  const Vec3 b = box.hi - box_.hi;
+  const bool box_changed = a.norm2() != 0.0 || b.norm2() != 0.0;
+  bool need = box_changed || skin_ <= 0.0 || pos.size() != build_pos_.size();
+  if (!need) {
+    // Half-skin criterion: a pair can close the cutoff gap only after the
+    // two atoms together drift a full skin, i.e. one of them exceeds skin/2.
+    const double limit2 = 0.25 * skin_ * skin_;
     for (std::size_t i = 0; i < pos.size(); ++i) {
-      for (std::size_t j = i + 1; j < pos.size(); ++j) {
-        const double r2 = box_.min_image(pos[i], pos[j]).norm2();
-        if (r2 <= rc2) fn(i, j, r2);
+      if (box_.min_image(pos[i], build_pos_[i]).norm2() > limit2) {
+        need = true;
+        break;
       }
+    }
+  }
+  if (!need) return false;
+  if (box_changed) configure(box);
+  build(pos);
+  return true;
+}
+
+void CellList::neighbor_csr(const std::vector<Vec3>& pos, unsigned threads,
+                            std::vector<std::uint32_t>* offsets,
+                            std::vector<std::uint32_t>* neighbors) const {
+  const std::size_t n = pos.size();
+  offsets->assign(n + 1, 0);
+  if (threads <= 1) {
+    // Pass 1: degrees (stored shifted by one for the in-place prefix sum).
+    for_each_pair(pos, [&](std::size_t i, std::size_t j, double) {
+      ++(*offsets)[i + 1];
+      ++(*offsets)[j + 1];
+    });
+    for (std::size_t i = 0; i < n; ++i) (*offsets)[i + 1] += (*offsets)[i];
+    neighbors->resize((*offsets)[n]);
+    // Pass 2: scatter, then sort each row for deterministic, bsearch-able
+    // adjacency rows.
+    std::vector<std::uint32_t> cursor(offsets->begin(), offsets->end() - 1);
+    for_each_pair(pos, [&](std::size_t i, std::size_t j, double) {
+      (*neighbors)[cursor[i]++] = static_cast<std::uint32_t>(j);
+      (*neighbors)[cursor[j]++] = static_cast<std::uint32_t>(i);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      std::sort(neighbors->begin() + (*offsets)[i],
+                neighbors->begin() + (*offsets)[i + 1]);
     }
     return;
   }
-  const auto nx = static_cast<std::int64_t>(nx_);
-  const auto ny = static_cast<std::int64_t>(ny_);
-  const auto nz = static_cast<std::int64_t>(nz_);
-  for (std::int64_t cx = 0; cx < nx; ++cx) {
-    for (std::int64_t cy = 0; cy < ny; ++cy) {
-      for (std::int64_t cz = 0; cz < nz; ++cz) {
-        const std::size_t c =
-            (static_cast<std::size_t>(cx) * ny_ + static_cast<std::size_t>(cy)) *
-                nz_ +
-            static_cast<std::size_t>(cz);
-        const auto& cell = cells_[c];
-        // Pairs within the cell.
-        for (std::size_t a = 0; a < cell.size(); ++a) {
-          for (std::size_t b = a + 1; b < cell.size(); ++b) {
-            const double r2 =
-                box_.min_image(pos[cell[a]], pos[cell[b]]).norm2();
-            if (r2 <= rc2) fn(cell[a], cell[b], r2);
-          }
-        }
-        // Pairs with half of the neighboring cells (each cell pair visited
-        // once).
-        for (std::int64_t dx = -1; dx <= 1; ++dx) {
-          for (std::int64_t dy = -1; dy <= 1; ++dy) {
-            for (std::int64_t dz = -1; dz <= 1; ++dz) {
-              if (dx == 0 && dy == 0 && dz == 0) continue;
-              // Keep only the lexicographically positive half-stencil.
-              if (dx < 0 || (dx == 0 && dy < 0) ||
-                  (dx == 0 && dy == 0 && dz < 0)) {
-                continue;
-              }
-              const std::size_t ox =
-                  static_cast<std::size_t>((cx + dx + nx) % nx);
-              const std::size_t oy =
-                  static_cast<std::size_t>((cy + dy + ny) % ny);
-              const std::size_t oz =
-                  static_cast<std::size_t>((cz + dz + nz) % nz);
-              const std::size_t o = (ox * ny_ + oy) * nz_ + oz;
-              const auto& other = cells_[o];
-              for (std::uint32_t ia : cell) {
-                for (std::uint32_t jb : other) {
-                  const double r2 = box_.min_image(pos[ia], pos[jb]).norm2();
-                  if (r2 <= rc2) fn(ia, jb, r2);
-                }
-              }
-            }
-          }
-        }
-      }
-    }
+  // Parallel build: atomic per-row counters during the two pair passes, and
+  // a final per-row sort that erases scatter-order nondeterminism, so the
+  // result is identical for any thread count.
+  std::vector<std::atomic<std::uint32_t>> deg(n);
+  for (auto& d : deg) d.store(0, std::memory_order_relaxed);
+  const std::size_t domain = range_size();
+  par::parallel_for(threads, domain, [&](std::size_t b, std::size_t e,
+                                         unsigned) {
+    for_each_pair_range(pos, b, e, [&](std::size_t i, std::size_t j, double) {
+      deg[i].fetch_add(1, std::memory_order_relaxed);
+      deg[j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    (*offsets)[i + 1] =
+        (*offsets)[i] + deg[i].load(std::memory_order_relaxed);
   }
+  neighbors->resize((*offsets)[n]);
+  std::vector<std::atomic<std::uint32_t>> cursor(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cursor[i].store((*offsets)[i], std::memory_order_relaxed);
+  }
+  par::parallel_for(threads, domain, [&](std::size_t b, std::size_t e,
+                                         unsigned) {
+    for_each_pair_range(pos, b, e, [&](std::size_t i, std::size_t j, double) {
+      (*neighbors)[cursor[i].fetch_add(1, std::memory_order_relaxed)] =
+          static_cast<std::uint32_t>(j);
+      (*neighbors)[cursor[j].fetch_add(1, std::memory_order_relaxed)] =
+          static_cast<std::uint32_t>(i);
+    });
+  });
+  par::parallel_for(threads, n, [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) {
+      std::sort(neighbors->begin() + (*offsets)[i],
+                neighbors->begin() + (*offsets)[i + 1]);
+    }
+  });
 }
 
 std::vector<std::vector<std::uint32_t>> CellList::neighbor_lists(

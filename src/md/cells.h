@@ -2,10 +2,17 @@
 // potentials and for the analytics kernels' cutoff queries. Falls back to
 // the O(n^2) double loop when the box is too small for a 3x3x3 cell stencil
 // (which would otherwise double-count periodic images).
+//
+// Storage is a flat CSR layout (cell_start_ offsets into one cell_atoms_
+// index array) rebuilt by counting sort, and the pair visitor is a template
+// so the per-pair callback inlines — no per-pair indirect call and no
+// per-cell heap allocation. An optional Verlet skin widens the bins by
+// `skin` so the structure stays valid until some atom drifts more than
+// skin/2 from its position at build time; update() performs that check and
+// rebuilds only when needed (or when the box deformed, e.g. under strain).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "md/atoms.h"
@@ -14,32 +21,129 @@ namespace ioc::md {
 
 class CellList {
  public:
-  CellList(const Box& box, double cutoff);
+  CellList(const Box& box, double cutoff, double skin = 0.0);
 
+  /// Unconditionally rebuild the cell structure for these positions.
   void build(const std::vector<Vec3>& pos);
+
+  /// Rebuild only when required: the box changed, the atom count changed,
+  /// there is no skin, or some atom moved more than skin/2 since the last
+  /// build. Returns whether a rebuild happened.
+  bool update(const Box& box, const std::vector<Vec3>& pos);
 
   /// Visit each unordered pair (i < j) with |r_ij| <= cutoff exactly once.
   /// The callback receives (i, j, r2) with r2 the squared minimum-image
-  /// distance.
-  void for_each_pair(
-      const std::vector<Vec3>& pos,
-      const std::function<void(std::size_t, std::size_t, double)>& fn) const;
+  /// distance. Templated so the callback inlines into the cell loops.
+  template <class Fn>
+  void for_each_pair(const std::vector<Vec3>& pos, Fn&& fn) const {
+    for_each_pair_range(pos, 0, range_size(), fn);
+  }
+
+  /// Pair visitation restricted to a slice of the independent work domain:
+  /// cells [begin, end) when the cell grid is active, first-atom indices
+  /// [begin, end) in the O(n^2) fallback. Every pair is owned by exactly
+  /// one domain slot, so disjoint ranges visit disjoint pair sets — the
+  /// unit the parallel kernels chunk over.
+  template <class Fn>
+  void for_each_pair_range(const std::vector<Vec3>& pos, std::size_t begin,
+                           std::size_t end, Fn&& fn) const {
+    const double rc2 = cutoff_ * cutoff_;
+    if (!use_cells_) {
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = i + 1; j < pos.size(); ++j) {
+          const double r2 = box_.min_image(pos[i], pos[j]).norm2();
+          if (r2 <= rc2) fn(i, j, r2);
+        }
+      }
+      return;
+    }
+    const auto nx = static_cast<std::int64_t>(nx_);
+    const auto ny = static_cast<std::int64_t>(ny_);
+    const auto nz = static_cast<std::int64_t>(nz_);
+    for (std::size_t c = begin; c < end; ++c) {
+      const auto cz = static_cast<std::int64_t>(c % nz_);
+      const auto cy = static_cast<std::int64_t>((c / nz_) % ny_);
+      const auto cx = static_cast<std::int64_t>(c / (ny_ * nz_));
+      const std::uint32_t* cell = cell_atoms_.data() + cell_start_[c];
+      const std::size_t cell_n = cell_start_[c + 1] - cell_start_[c];
+      // Pairs within the cell.
+      for (std::size_t a = 0; a < cell_n; ++a) {
+        for (std::size_t b = a + 1; b < cell_n; ++b) {
+          const double r2 = box_.min_image(pos[cell[a]], pos[cell[b]]).norm2();
+          if (r2 <= rc2) fn(cell[a], cell[b], r2);
+        }
+      }
+      // Pairs with half of the neighboring cells (each cell pair visited
+      // once).
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        for (std::int64_t dy = -1; dy <= 1; ++dy) {
+          for (std::int64_t dz = -1; dz <= 1; ++dz) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            // Keep only the lexicographically positive half-stencil.
+            if (dx < 0 || (dx == 0 && dy < 0) ||
+                (dx == 0 && dy == 0 && dz < 0)) {
+              continue;
+            }
+            const std::size_t ox = static_cast<std::size_t>((cx + dx + nx) % nx);
+            const std::size_t oy = static_cast<std::size_t>((cy + dy + ny) % ny);
+            const std::size_t oz = static_cast<std::size_t>((cz + dz + nz) % nz);
+            const std::size_t o = (ox * ny_ + oy) * nz_ + oz;
+            const std::uint32_t* other = cell_atoms_.data() + cell_start_[o];
+            const std::size_t other_n = cell_start_[o + 1] - cell_start_[o];
+            for (std::size_t a = 0; a < cell_n; ++a) {
+              for (std::size_t b = 0; b < other_n; ++b) {
+                const double r2 =
+                    box_.min_image(pos[cell[a]], pos[other[b]]).norm2();
+                if (r2 <= rc2) fn(cell[a], other[b], r2);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Size of the independent work domain for for_each_pair_range.
+  std::size_t range_size() const {
+    return use_cells_ ? nx_ * ny_ * nz_ : natoms_;
+  }
+
+  /// Neighbor CSR within the cutoff, both directions present, each row
+  /// sorted ascending: offsets has natoms+1 entries, neighbors holds row i
+  /// in [offsets[i], offsets[i+1]). This is the zero-copy path into
+  /// sp::Adjacency::from_csr; `threads > 1` parallelizes the count, fill,
+  /// and per-row sort passes (the sorted rows make the result independent
+  /// of thread interleaving).
+  void neighbor_csr(const std::vector<Vec3>& pos, unsigned threads,
+                    std::vector<std::uint32_t>* offsets,
+                    std::vector<std::uint32_t>* neighbors) const;
 
   /// Per-atom neighbor lists within the cutoff (both directions present).
+  /// Kept for tests and ad-hoc callers; hot paths use neighbor_csr.
   std::vector<std::vector<std::uint32_t>> neighbor_lists(
       const std::vector<Vec3>& pos) const;
 
   bool using_cells() const { return use_cells_; }
   double cutoff() const { return cutoff_; }
+  double skin() const { return skin_; }
+  /// Builds performed so far (update() that found the structure still
+  /// valid does not count) — observability for the Verlet-skin reuse rate.
+  std::uint64_t builds() const { return builds_; }
 
  private:
+  void configure(const Box& box);
   std::size_t cell_of(const Vec3& p) const;
 
   Box box_;
   double cutoff_;
+  double skin_;
   bool use_cells_ = false;
   std::size_t nx_ = 1, ny_ = 1, nz_ = 1;
-  std::vector<std::vector<std::uint32_t>> cells_;
+  std::size_t natoms_ = 0;
+  std::vector<std::uint32_t> cell_start_;  ///< CSR offsets, num_cells + 1
+  std::vector<std::uint32_t> cell_atoms_;  ///< atom indices grouped by cell
+  std::vector<Vec3> build_pos_;            ///< positions at last build (skin > 0)
+  std::uint64_t builds_ = 0;
 };
 
 }  // namespace ioc::md

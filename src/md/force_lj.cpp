@@ -1,33 +1,71 @@
 #include "md/force_lj.h"
 
+#include <algorithm>
+
+#include "par/thread_pool.h"
+#include "trace/kernel_span.h"
+
 namespace ioc::md {
 
-double LjForce::pair_energy(double r2) const {
-  const double rc2 = p_.cutoff * p_.cutoff * p_.sigma * p_.sigma;
-  if (r2 > rc2) return 0.0;
-  const double s2 = p_.sigma * p_.sigma / r2;
-  const double s6 = s2 * s2 * s2;
-  return 4.0 * p_.epsilon * (s6 * s6 - s6);
+ForceResult LjForce::compute(AtomData& atoms) const {
+  CellList cl(atoms.box, p_.cutoff * p_.sigma);
+  return compute(atoms, cl, 1);  // update() inside builds the skinless list
 }
 
-ForceResult LjForce::compute(AtomData& atoms) const {
+ForceResult LjForce::compute(AtomData& atoms, CellList& cells,
+                             unsigned threads,
+                             trace::TraceSink* sink) const {
+  const std::size_t n = atoms.size();
+  trace::KernelSpan span(sink, "lj_force", threads, static_cast<double>(n));
+  cells.update(atoms.box, atoms.pos);
   ForceResult res;
   for (auto& f : atoms.force) f = Vec3{};
-  CellList cl(atoms.box, p_.cutoff * p_.sigma);
-  cl.build(atoms.pos);
-  cl.for_each_pair(atoms.pos, [&](std::size_t i, std::size_t j, double r2) {
-    const double s2 = p_.sigma * p_.sigma / r2;
-    const double s6 = s2 * s2 * s2;
-    // dU/dr / r = -24 eps (2 s12 - s6) / r^2
-    const double fmag_over_r =
-        24.0 * p_.epsilon * (2.0 * s6 * s6 - s6) / r2;
-    const Vec3 rij = atoms.box.min_image(atoms.pos[i], atoms.pos[j]);
-    const Vec3 f = rij * fmag_over_r;
-    atoms.force[i] += f;
-    atoms.force[j] -= f;
-    res.potential_energy += 4.0 * p_.epsilon * (s6 * s6 - s6);
-    res.virial += rij.dot(f);
-  });
+  if (threads <= 1) {
+    cells.for_each_pair(
+        atoms.pos, [&](std::size_t i, std::size_t j, double r2) {
+          const LjPairTerms t = pair_terms(r2);
+          const Vec3 rij = atoms.box.min_image(atoms.pos[i], atoms.pos[j]);
+          const Vec3 f = rij * t.fmag_over_r;
+          atoms.force[i] += f;
+          atoms.force[j] -= f;
+          res.potential_energy += t.energy;
+          res.virial += rij.dot(f);
+        });
+    return res;
+  }
+  // Per-thread force accumulators: chunk c owns a disjoint slice of the
+  // pair domain but touches arbitrary atoms, so each chunk sums into its
+  // own array and the arrays merge below in fixed chunk order — the result
+  // depends on the thread count, never on scheduling.
+  struct Accum {
+    std::vector<Vec3> force;
+    double pe = 0;
+    double virial = 0;
+  };
+  const std::size_t domain = cells.range_size();
+  const unsigned chunks =
+      static_cast<unsigned>(std::min<std::size_t>(threads, domain));
+  std::vector<Accum> accums(chunks);
+  par::parallel_for(
+      chunks, domain, [&](std::size_t b, std::size_t e, unsigned c) {
+        Accum& acc = accums[c];
+        acc.force.assign(n, Vec3{});
+        cells.for_each_pair_range(
+            atoms.pos, b, e, [&](std::size_t i, std::size_t j, double r2) {
+              const LjPairTerms t = pair_terms(r2);
+              const Vec3 rij = atoms.box.min_image(atoms.pos[i], atoms.pos[j]);
+              const Vec3 f = rij * t.fmag_over_r;
+              acc.force[i] += f;
+              acc.force[j] -= f;
+              acc.pe += t.energy;
+              acc.virial += rij.dot(f);
+            });
+      });
+  for (unsigned c = 0; c < chunks; ++c) {
+    for (std::size_t i = 0; i < n; ++i) atoms.force[i] += accums[c].force[i];
+    res.potential_energy += accums[c].pe;
+    res.virial += accums[c].virial;
+  }
   return res;
 }
 

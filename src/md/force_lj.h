@@ -5,6 +5,7 @@
 
 #include "md/atoms.h"
 #include "md/cells.h"
+#include "trace/sink.h"
 
 namespace ioc::md {
 
@@ -19,6 +20,14 @@ struct ForceResult {
   double virial = 0;  ///< sum of r.f over pairs (pressure diagnostics)
 };
 
+/// The two quantities every pair interaction needs, derived once from the
+/// squared distance so the force loop and pair_energy cannot drift apart
+/// when the potential's constants change.
+struct LjPairTerms {
+  double energy = 0;        ///< U(r), truncated (zero beyond the cutoff)
+  double fmag_over_r = 0;   ///< |F|/r = -dU/dr / r
+};
+
 class LjForce {
  public:
   explicit LjForce(LjParams p = LjParams{}) : p_(p) {}
@@ -26,10 +35,33 @@ class LjForce {
   const LjParams& params() const { return p_; }
 
   /// Recompute forces into atoms.force (overwritten); returns energies.
+  /// Builds a throwaway exact-cutoff cell list and runs single-threaded —
+  /// the reference serial path.
   ForceResult compute(AtomData& atoms) const;
 
+  /// Same computation against a caller-owned cell list (which is update()d
+  /// for the current positions/box first, honoring its Verlet skin) across
+  /// `threads` threads. threads <= 1 reproduces compute()'s arithmetic
+  /// exactly; threads > 1 accumulates into per-thread force arrays merged
+  /// in deterministic chunk order (energies match serial to ~1e-12
+  /// relative, reassociation only). Emits a kernel.compute span to `sink`
+  /// when tracing is active.
+  ForceResult compute(AtomData& atoms, CellList& cells, unsigned threads,
+                      trace::TraceSink* sink = nullptr) const;
+
+  /// Energy and force magnitude of one pair at squared distance r2.
+  LjPairTerms pair_terms(double r2) const {
+    const double rc2 = p_.cutoff * p_.cutoff * p_.sigma * p_.sigma;
+    if (r2 > rc2) return {};
+    const double s2 = p_.sigma * p_.sigma / r2;
+    const double s6 = s2 * s2 * s2;
+    // dU/dr / r = -24 eps (2 s12 - s6) / r^2
+    return {4.0 * p_.epsilon * (s6 * s6 - s6),
+            24.0 * p_.epsilon * (2.0 * s6 * s6 - s6) / r2};
+  }
+
   /// Pair energy at squared distance r2 (unshifted, truncated).
-  double pair_energy(double r2) const;
+  double pair_energy(double r2) const { return pair_terms(r2).energy; }
 
  private:
   LjParams p_;

@@ -7,8 +7,16 @@
 namespace ioc::md {
 
 MdSim::MdSim(AtomData atoms, MdConfig cfg, std::uint64_t seed)
-    : atoms_(std::move(atoms)), cfg_(cfg), force_(cfg.lj), rng_(seed) {
-  last_force_ = force_.compute(atoms_);
+    : atoms_(std::move(atoms)),
+      cfg_(cfg),
+      force_(cfg.lj),
+      cells_(atoms_.box, cfg.lj.cutoff * cfg.lj.sigma, cfg.neighbor_skin),
+      rng_(seed) {
+  last_force_ = recompute_forces();
+}
+
+ForceResult MdSim::recompute_forces() {
+  return force_.compute(atoms_, cells_, cfg_.threads, cfg_.trace_sink);
 }
 
 void MdSim::initialize_velocities() {
@@ -29,7 +37,7 @@ void MdSim::initialize_velocities() {
     const Vec3 drift = net * (1.0 / static_cast<double>(atoms_.vel.size()));
     for (auto& v : atoms_.vel) v -= drift;
   }
-  last_force_ = force_.compute(atoms_);
+  last_force_ = recompute_forces();
 }
 
 void MdSim::apply_strain(double factor) {
@@ -53,7 +61,7 @@ void MdSim::run(int n) {
       atoms_.vel[i] += atoms_.force[i] * (0.5 * dt);
       atoms_.pos[i] = atoms_.box.wrap(atoms_.pos[i] + atoms_.vel[i] * dt);
     }
-    last_force_ = force_.compute(atoms_);
+    last_force_ = recompute_forces();
     for (std::size_t i = 0; i < atoms_.size(); ++i) {
       atoms_.vel[i] += atoms_.force[i] * (0.5 * dt);
     }
@@ -83,7 +91,7 @@ std::size_t MdSim::carve_notch(double x0, double x1, double half_width) {
     }
   }
   atoms_.remove_if(kill);
-  last_force_ = force_.compute(atoms_);
+  last_force_ = recompute_forces();
   return n;
 }
 

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "md/atoms.h"
+#include "md/cells.h"
 #include "md/force_lj.h"
+#include "trace/sink.h"
 #include "util/rng.h"
 
 namespace ioc::md {
@@ -18,6 +20,15 @@ struct MdConfig {
   int thermostat_every = 20;      ///< velocity-rescale cadence; 0 disables
   double strain_rate = 0.0;       ///< fractional x-elongation per time unit
   LjParams lj;
+  /// Force-kernel threads (<= 1 is the bit-exact serial path).
+  unsigned threads = 1;
+  /// Verlet skin added to the neighbor bins so the cell structure survives
+  /// across steps until an atom drifts skin/2 (see CellList::update). 0
+  /// rebuilds every step — the historical behavior, and what checkpoint
+  /// byte-compat expects; ~0.3 sigma is the conventional MD choice.
+  double neighbor_skin = 0.0;
+  /// Optional sink for kernel.compute spans (not owned).
+  trace::TraceSink* trace_sink = nullptr;
 };
 
 class MdSim {
@@ -52,12 +63,18 @@ class MdSim {
   std::vector<char> checkpoint() const;
   static MdSim restore(const std::vector<char>& data, MdConfig cfg);
 
+  /// Cell-structure builds so far — with a neighbor_skin this is < steps,
+  /// the Verlet reuse the perf docs quantify.
+  std::uint64_t cell_builds() const { return cells_.builds(); }
+
  private:
   void apply_strain(double factor);
+  ForceResult recompute_forces();
 
   AtomData atoms_;
   MdConfig cfg_;
   LjForce force_;
+  CellList cells_;
   ForceResult last_force_;
   util::Rng rng_;
   std::uint64_t steps_ = 0;

@@ -1,0 +1,67 @@
+#include "par/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace ioc::par {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers < 1) workers = 1;
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+unsigned ThreadPool::default_workers() {
+  if (const char* env = std::getenv("IOC_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_workers());
+  return pool;
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool& ThreadPool::on_worker() {
+  thread_local bool flag = false;
+  return flag;
+}
+
+void ThreadPool::worker_main() {
+  on_worker() = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // for_range already catches the body's exceptions
+  }
+}
+
+}  // namespace ioc::par

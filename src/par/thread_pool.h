@@ -1,0 +1,174 @@
+// Shared-memory parallel runtime for the analytics kernels: a fixed-size
+// ThreadPool with static-chunked parallel_for / parallel_reduce. The design
+// constraints come from the kernels it hosts (see docs/PERFORMANCE.md):
+//
+//  - threads <= 1 never touches the pool: the body runs inline on the
+//    caller, so the serial path stays bit-identical to single-threaded code.
+//  - Static chunking: [0, n) splits into exactly `chunks` contiguous ranges
+//    whose boundaries depend only on (n, chunks). Per-chunk partial results
+//    combined in chunk order make parallel_reduce deterministic for a fixed
+//    thread count.
+//  - Exception propagating: the first exception thrown by any chunk is
+//    rethrown on the caller after all chunks finish.
+//  - Nestable-safe: a parallel_for issued from inside a pool worker runs
+//    its chunks inline instead of re-entering the queue, so nested
+//    parallelism cannot deadlock the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ioc::par {
+
+/// Boundaries of chunk `c` of `chunks` over [0, n): contiguous, balanced to
+/// within one element, dependent only on the arguments (the determinism
+/// anchor for parallel_reduce).
+inline std::pair<std::size_t, std::size_t> chunk_bounds(std::size_t n,
+                                                        unsigned chunks,
+                                                        unsigned c) {
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  const std::size_t begin =
+      static_cast<std::size_t>(c) * base + std::min<std::size_t>(c, rem);
+  const std::size_t end = begin + base + (c < rem ? 1 : 0);
+  return {begin, end};
+}
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to >= 1).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Worker count for the process-wide pool: the IOC_THREADS environment
+  /// variable when set, otherwise std::thread::hardware_concurrency().
+  static unsigned default_workers();
+
+  /// Process-wide pool, created on first use with default_workers() threads.
+  /// Kernels share it so each parallel invocation reuses warm threads
+  /// instead of paying a spawn/join per call.
+  static ThreadPool& shared();
+
+  /// Split [0, n) into `chunks` static ranges and invoke
+  /// body(begin, end, chunk) for each — chunks beyond the first run on pool
+  /// workers, chunk 0 on the caller. Returns after every chunk completes;
+  /// rethrows the first exception any chunk raised. Called from inside a
+  /// pool worker, runs all chunks inline (nestable-safe).
+  template <class Body>
+  void for_range(std::size_t n, unsigned chunks, Body&& body) {
+    if (n == 0) return;
+    if (chunks > n) chunks = static_cast<unsigned>(n);
+    if (chunks <= 1 || on_worker()) {
+      for (unsigned c = 0; c < std::max(chunks, 1u); ++c) {
+        const auto [b, e] = chunk_bounds(n, std::max(chunks, 1u), c);
+        body(b, e, c);
+      }
+      return;
+    }
+    struct Join {
+      std::mutex mu;
+      std::condition_variable cv;
+      unsigned pending;
+      std::exception_ptr error;
+    } join;
+    join.pending = chunks - 1;
+    for (unsigned c = 1; c < chunks; ++c) {
+      const auto [b, e] = chunk_bounds(n, chunks, c);
+      submit([&join, &body, b = b, e = e, c] {
+        std::exception_ptr err;
+        try {
+          body(b, e, c);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(join.mu);
+        if (err && !join.error) join.error = err;
+        if (--join.pending == 0) join.cv.notify_one();
+      });
+    }
+    std::exception_ptr caller_error;
+    try {
+      const auto [b, e] = chunk_bounds(n, chunks, 0);
+      body(b, e, 0u);
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(join.mu);
+    join.cv.wait(lock, [&join] { return join.pending == 0; });
+    if (caller_error) std::rethrow_exception(caller_error);
+    if (join.error) std::rethrow_exception(join.error);
+  }
+
+  /// Deterministic map-reduce: body(begin, end, chunk) -> T per chunk,
+  /// partials combined left-to-right in chunk order starting from
+  /// `identity`. Identical (n, chunks) always produces identical results
+  /// regardless of worker scheduling.
+  template <class T, class Body, class Combine>
+  T reduce_range(std::size_t n, unsigned chunks, T identity, Body&& body,
+                 Combine&& combine) {
+    if (n == 0) return identity;
+    if (chunks > n) chunks = static_cast<unsigned>(n);
+    if (chunks < 1) chunks = 1;
+    std::vector<T> partial(chunks, identity);
+    for_range(n, chunks, [&body, &partial](std::size_t b, std::size_t e,
+                                           unsigned c) {
+      partial[c] = body(b, e, c);
+    });
+    T acc = std::move(identity);
+    for (unsigned c = 0; c < chunks; ++c) {
+      acc = combine(std::move(acc), std::move(partial[c]));
+    }
+    return acc;
+  }
+
+ private:
+  void submit(std::function<void()> fn);
+  void worker_main();
+  static bool& on_worker();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Kernel-facing entry point: `threads <= 1` runs body(0, n, 0) inline on
+/// the caller (the exact serial path, no pool involvement); otherwise the
+/// shared pool executes `threads` static chunks.
+template <class Body>
+void parallel_for(unsigned threads, std::size_t n, Body&& body) {
+  if (n == 0) return;
+  if (threads <= 1) {
+    body(static_cast<std::size_t>(0), n, 0u);
+    return;
+  }
+  ThreadPool::shared().for_range(n, threads, std::forward<Body>(body));
+}
+
+/// Deterministic reduction counterpart of parallel_for. At `threads <= 1`
+/// this is combine(identity, body(0, n, 0)) on the caller.
+template <class T, class Body, class Combine>
+T parallel_reduce(unsigned threads, std::size_t n, T identity, Body&& body,
+                  Combine&& combine) {
+  if (n == 0) return identity;
+  if (threads <= 1) {
+    return combine(std::move(identity), body(static_cast<std::size_t>(0), n, 0u));
+  }
+  return ThreadPool::shared().reduce_range(n, threads, std::move(identity),
+                                           std::forward<Body>(body),
+                                           std::forward<Combine>(combine));
+}
+
+}  // namespace ioc::par

@@ -28,6 +28,18 @@ class Adjacency {
     return a;
   }
 
+  /// Adopt an already-built CSR (e.g. md::CellList::neighbor_csr) without
+  /// copying: offsets must have n+1 entries starting at 0, and each row
+  /// [offsets[i], offsets[i+1]) must be sorted ascending for bonded()'s
+  /// binary search.
+  static Adjacency from_csr(std::vector<std::uint32_t> offsets,
+                            std::vector<std::uint32_t> neighbors) {
+    Adjacency a;
+    if (!offsets.empty()) a.offsets_ = std::move(offsets);
+    a.neighbors_ = std::move(neighbors);
+    return a;
+  }
+
   std::size_t size() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }

@@ -1,13 +1,19 @@
 #include "sp/bonds.h"
 
 #include "md/cells.h"
+#include "trace/kernel_span.h"
 
 namespace ioc::sp {
 
 Adjacency BondAnalysis::compute(const md::AtomData& atoms) const {
+  trace::KernelSpan span(cfg_.sink, "bonds", cfg_.threads,
+                         static_cast<double>(atoms.size()));
   md::CellList cl(atoms.box, cfg_.cutoff);
   cl.build(atoms.pos);
-  return Adjacency::from_lists(cl.neighbor_lists(atoms.pos));
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> neighbors;
+  cl.neighbor_csr(atoms.pos, cfg_.threads, &offsets, &neighbors);
+  return Adjacency::from_csr(std::move(offsets), std::move(neighbors));
 }
 
 Adjacency BondAnalysis::compute_naive(const md::AtomData& atoms) const {

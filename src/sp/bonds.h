@@ -11,6 +11,7 @@
 
 #include "md/atoms.h"
 #include "sp/adjacency.h"
+#include "trace/sink.h"
 
 namespace ioc::sp {
 
@@ -18,6 +19,10 @@ struct BondsConfig {
   /// Bond cutoff. For the LJ FCC solid (a = 1.5496) the nearest-neighbor
   /// distance is a/sqrt(2) = 1.096; 1.3 separates first and second shells.
   double cutoff = 1.3;
+  /// Worker threads for the CSR build (<= 1: serial, identical output).
+  unsigned threads = 1;
+  /// Optional sink for kernel.compute spans (not owned).
+  trace::TraceSink* sink = nullptr;
 };
 
 class BondAnalysis {

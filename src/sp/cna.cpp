@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "md/cells.h"
+#include "par/thread_pool.h"
+#include "trace/kernel_span.h"
 
 namespace ioc::sp {
 
@@ -119,15 +121,26 @@ CnaResult CommonNeighborAnalysis::classify(const md::AtomData& atoms) const {
 CnaResult CommonNeighborAnalysis::classify_subset(
     const md::AtomData& atoms,
     const std::vector<std::uint32_t>& subset) const {
+  trace::KernelSpan span(cfg_.sink, "cna", cfg_.threads,
+                         static_cast<double>(subset.size()));
   md::CellList cl(atoms.box, cfg_.cutoff);
   cl.build(atoms.pos);
-  const Adjacency adj = Adjacency::from_lists(cl.neighbor_lists(atoms.pos));
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> neighbors;
+  cl.neighbor_csr(atoms.pos, cfg_.threads, &offsets, &neighbors);
+  const Adjacency adj =
+      Adjacency::from_csr(std::move(offsets), std::move(neighbors));
 
   CnaResult res;
   res.labels.assign(atoms.size(), CnaLabel::kOther);
-  for (std::uint32_t i : subset) {
-    res.labels[i] = label_atom(adj, i);
-  }
+  // Each subset entry is labeled independently against the shared read-only
+  // adjacency; identical labels at any thread count.
+  par::parallel_for(cfg_.threads, subset.size(),
+                    [&](std::size_t lo, std::size_t hi, unsigned) {
+                      for (std::size_t s = lo; s < hi; ++s) {
+                        res.labels[subset[s]] = label_atom(adj, subset[s]);
+                      }
+                    });
   return res;
 }
 

@@ -12,6 +12,7 @@
 
 #include "md/atoms.h"
 #include "sp/adjacency.h"
+#include "trace/sink.h"
 
 namespace ioc::sp {
 
@@ -29,6 +30,11 @@ struct CnaConfig {
   /// Neighbor cutoff. For FCC the conventional choice lies midway between
   /// the first and second shells: (1/sqrt(2) + 1)/2 * a = 0.854 a.
   double cutoff = 1.32;
+  /// Worker threads. Labels are per-atom independent, so any thread count
+  /// produces identical labels; <= 1 runs inline on the caller.
+  unsigned threads = 1;
+  /// Optional sink for kernel.compute spans (not owned).
+  trace::TraceSink* sink = nullptr;
 };
 
 struct CnaResult {
@@ -51,6 +57,8 @@ class CommonNeighborAnalysis {
   /// Classify all atoms.
   CnaResult classify(const md::AtomData& atoms) const;
   /// Classify only a subset (the crack region), against full neighborhoods.
+  /// Subset entries must be distinct (BreakDetector::region emits them so);
+  /// duplicates would make concurrent label writes race.
   CnaResult classify_subset(const md::AtomData& atoms,
                             const std::vector<std::uint32_t>& subset) const;
 

@@ -86,10 +86,16 @@ double CostModel::base_seconds(ComponentKind k, std::uint64_t atoms) const {
   return 0;
 }
 
+double CostModel::thread_speedup(unsigned threads) const {
+  if (threads <= 1) return 1.0;
+  const double s = cfg_.thread_serial_fraction;
+  return 1.0 / (s + (1.0 - s) / static_cast<double>(threads));
+}
+
 double CostModel::step_seconds(ComponentKind k, ComputeModel m,
-                               std::uint64_t atoms,
-                               std::uint32_t width) const {
-  const double base = base_seconds(k, atoms);
+                               std::uint64_t atoms, std::uint32_t width,
+                               unsigned threads) const {
+  const double base = base_seconds(k, atoms) / thread_speedup(threads);
   const double w = std::max<std::uint32_t>(width, 1);
   switch (m) {
     case ComputeModel::kTree: {
@@ -108,9 +114,10 @@ double CostModel::step_seconds(ComponentKind k, ComputeModel m,
 }
 
 double CostModel::throughput(ComponentKind k, ComputeModel m,
-                             std::uint64_t atoms, std::uint32_t width) const {
+                             std::uint64_t atoms, std::uint32_t width,
+                             unsigned threads) const {
   if (width == 0) return 0.0;
-  const double step = step_seconds(k, m, atoms, width);
+  const double step = step_seconds(k, m, atoms, width, threads);
   if (step <= 0) return 0.0;
   if (m == ComputeModel::kRoundRobin) {
     return static_cast<double>(width) / step;
@@ -120,9 +127,10 @@ double CostModel::throughput(ComponentKind k, ComputeModel m,
 
 std::uint32_t CostModel::width_for_throughput(ComponentKind k, ComputeModel m,
                                               std::uint64_t atoms,
-                                              double steps_per_second) const {
+                                              double steps_per_second,
+                                              unsigned threads) const {
   for (std::uint32_t w = 1; w <= 4096; ++w) {
-    if (throughput(k, m, atoms, w) >= steps_per_second) return w;
+    if (throughput(k, m, atoms, w, threads) >= steps_per_second) return w;
   }
   return 4096;
 }

@@ -57,6 +57,13 @@ struct CostModelConfig {
   double tree_level_seconds = 0.05;
   /// Serial fraction for the kParallel model (Amdahl).
   double amdahl_serial_fraction = 0.05;
+  /// Within-node thread scaling of one instance (src/par runtime): serial
+  /// fraction of a kernel step when spread over a node's cores. Calibrated
+  /// from the BENCH_kernels.json microbench baseline (cell build + CSR
+  /// prefix/merge passes stay serial while the pair loops scale), which
+  /// puts the threaded kernels a little under ideal scaling; 0.08 matches
+  /// the measured >= 3x at 8 threads with headroom for memory-bound sizes.
+  double thread_serial_fraction = 0.08;
 };
 
 class CostModel {
@@ -65,22 +72,31 @@ class CostModel {
 
   const CostModelConfig& config() const { return cfg_; }
 
-  /// Latency of one step through a single instance occupying `width` nodes.
-  /// For kSerial/kRoundRobin the width does not change per-step latency.
+  /// Latency of one step through a single instance occupying `width` nodes,
+  /// each instance running `threads` kernel threads (the per-container
+  /// "speedup property" a local manager reports; 1 reproduces the
+  /// single-threaded calibration exactly). For kSerial/kRoundRobin the
+  /// width does not change per-step latency — only threads do.
   double step_seconds(ComponentKind k, ComputeModel m, std::uint64_t atoms,
-                      std::uint32_t width) const;
+                      std::uint32_t width, unsigned threads = 1) const;
 
   /// Sustainable steps/second of a container running `width` nodes: the
   /// lever the managers pull. Round-robin replicas multiply throughput;
-  /// tree/parallel models shorten the step instead.
+  /// tree/parallel models shorten the step instead; threads shorten every
+  /// instance's step.
   double throughput(ComponentKind k, ComputeModel m, std::uint64_t atoms,
-                    std::uint32_t width) const;
+                    std::uint32_t width, unsigned threads = 1) const;
 
   /// Nodes needed to sustain `steps_per_second` — the answer a local
   /// manager gives when the global manager asks "what do you need?".
   std::uint32_t width_for_throughput(ComponentKind k, ComputeModel m,
                                      std::uint64_t atoms,
-                                     double steps_per_second) const;
+                                     double steps_per_second,
+                                     unsigned threads = 1) const;
+
+  /// Within-node speedup of one instance on `threads` cores (Amdahl with
+  /// cfg.thread_serial_fraction); 1.0 at threads <= 1.
+  double thread_speedup(unsigned threads) const;
 
  private:
   double base_seconds(ComponentKind k, std::uint64_t atoms) const;

@@ -3,47 +3,62 @@
 #include <algorithm>
 
 #include "md/cells.h"
+#include "par/thread_pool.h"
+#include "sp/adjacency.h"
+#include "trace/kernel_span.h"
 
 namespace ioc::sp {
 
 std::vector<double> CentralSymmetry::compute(const md::AtomData& atoms) const {
+  trace::KernelSpan span(cfg_.sink, "csym", cfg_.threads,
+                         static_cast<double>(atoms.size()));
   md::CellList cl(atoms.box, cfg_.cutoff);
   cl.build(atoms.pos);
-  auto nl = cl.neighbor_lists(atoms.pos);
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> neighbors;
+  cl.neighbor_csr(atoms.pos, cfg_.threads, &offsets, &neighbors);
+  const Adjacency adj =
+      Adjacency::from_csr(std::move(offsets), std::move(neighbors));
 
   std::vector<double> csp(atoms.size(), 0.0);
-  std::vector<std::pair<double, md::Vec3>> nn;  // (r2, displacement)
-  std::vector<double> pair_sums;
-  for (std::size_t i = 0; i < atoms.size(); ++i) {
-    nn.clear();
-    for (std::uint32_t j : nl[i]) {
-      const md::Vec3 d = atoms.box.min_image(atoms.pos[j], atoms.pos[i]);
-      nn.emplace_back(d.norm2(), d);
-    }
-    const std::size_t k =
-        std::min<std::size_t>(nn.size(), static_cast<std::size_t>(cfg_.num_neighbors));
-    if (k < 2) {
-      // An isolated atom has no symmetry to measure; flag it strongly.
-      csp[i] = cfg_.cutoff * cfg_.cutoff;
-      continue;
-    }
-    std::partial_sort(nn.begin(), nn.begin() + static_cast<std::ptrdiff_t>(k),
-                      nn.end(),
-                      [](const auto& a, const auto& b) { return a.first < b.first; });
-    pair_sums.clear();
-    for (std::size_t a = 0; a < k; ++a) {
-      for (std::size_t b = a + 1; b < k; ++b) {
-        pair_sums.push_back((nn[a].second + nn[b].second).norm2());
+  // Atoms are independent; chunks share nothing but the read-only adjacency
+  // and write disjoint csp slots, so per-atom values are bit-identical at
+  // any thread count.
+  par::parallel_for(cfg_.threads, atoms.size(), [&](std::size_t lo,
+                                                    std::size_t hi, unsigned) {
+    std::vector<std::pair<double, md::Vec3>> nn;  // (r2, displacement)
+    std::vector<double> pair_sums;
+    for (std::size_t i = lo; i < hi; ++i) {
+      nn.clear();
+      for (std::uint32_t j : adj.neighbors_of(i)) {
+        const md::Vec3 d = atoms.box.min_image(atoms.pos[j], atoms.pos[i]);
+        nn.emplace_back(d.norm2(), d);
       }
+      const std::size_t k = std::min<std::size_t>(
+          nn.size(), static_cast<std::size_t>(cfg_.num_neighbors));
+      if (k < 2) {
+        // An isolated atom has no symmetry to measure; flag it strongly.
+        csp[i] = cfg_.cutoff * cfg_.cutoff;
+        continue;
+      }
+      std::partial_sort(
+          nn.begin(), nn.begin() + static_cast<std::ptrdiff_t>(k), nn.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      pair_sums.clear();
+      for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = a + 1; b < k; ++b) {
+          pair_sums.push_back((nn[a].second + nn[b].second).norm2());
+        }
+      }
+      const std::size_t take = k / 2;
+      std::partial_sort(pair_sums.begin(),
+                        pair_sums.begin() + static_cast<std::ptrdiff_t>(take),
+                        pair_sums.end());
+      double sum = 0;
+      for (std::size_t t = 0; t < take; ++t) sum += pair_sums[t];
+      csp[i] = sum;
     }
-    const std::size_t take = k / 2;
-    std::partial_sort(pair_sums.begin(),
-                      pair_sums.begin() + static_cast<std::ptrdiff_t>(take),
-                      pair_sums.end());
-    double sum = 0;
-    for (std::size_t t = 0; t < take; ++t) sum += pair_sums[t];
-    csp[i] = sum;
-  }
+  });
   return csp;
 }
 

@@ -8,12 +8,18 @@
 #include <vector>
 
 #include "md/atoms.h"
+#include "trace/sink.h"
 
 namespace ioc::sp {
 
 struct CsymConfig {
   int num_neighbors = 12;  ///< 12 for FCC, 8 for BCC
   double cutoff = 1.6;     ///< neighbor-search radius
+  /// Worker threads. Atoms are independent, so any thread count produces
+  /// bit-identical CSP values; <= 1 runs inline on the caller.
+  unsigned threads = 1;
+  /// Optional sink for kernel.compute spans (not owned).
+  trace::TraceSink* sink = nullptr;
 };
 
 class CentralSymmetry {

@@ -4,6 +4,9 @@
 #include <numeric>
 #include <set>
 
+#include "par/thread_pool.h"
+#include "trace/kernel_span.h"
+
 namespace ioc::sp {
 
 namespace {
@@ -46,24 +49,60 @@ const Fragment* FragmentSet::find(std::uint32_t id) const {
   return nullptr;
 }
 
-FragmentSet find_fragments(const md::AtomData& atoms,
-                           const Adjacency& bonds) {
+FragmentSet find_fragments(const md::AtomData& atoms, const Adjacency& bonds,
+                           unsigned threads, trace::TraceSink* sink) {
   const std::size_t n = atoms.size();
+  trace::KernelSpan span(sink, "fragments", threads, static_cast<double>(n));
   UnionFind uf(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    for (std::uint32_t j : bonds.neighbors_of(i)) {
-      if (j > i) uf.unite(i, j);
+  if (threads <= 1 || n < 2) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j : bonds.neighbors_of(i)) {
+        if (j > i) uf.unite(i, j);
+      }
+    }
+  } else {
+    // Parallel bond pass: each chunk runs the edges of its atom range
+    // through a private union-find (no shared writes), then the partial
+    // forests fold into `uf` in chunk order. Components — and, because ids
+    // are canonicalized below, the final FragmentSet — match the serial
+    // pass for every thread count.
+    const unsigned chunks =
+        static_cast<unsigned>(std::min<std::size_t>(threads, n));
+    std::vector<UnionFind> partial(chunks, UnionFind(n));
+    par::parallel_for(chunks, n, [&](std::size_t b, std::size_t e,
+                                     unsigned c) {
+      UnionFind& local = partial[c];
+      for (std::size_t i = b; i < e; ++i) {
+        for (std::uint32_t j : bonds.neighbors_of(static_cast<std::uint32_t>(i))) {
+          if (j > i) local.unite(static_cast<std::uint32_t>(i), j);
+        }
+      }
+    });
+    for (unsigned c = 0; c < chunks; ++c) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t r = partial[c].find(i);
+        if (r != i) uf.unite(i, r);
+      }
     }
   }
   std::map<std::uint32_t, std::vector<std::uint32_t>> roots;
   for (std::uint32_t i = 0; i < n; ++i) {
     roots[uf.find(i)].push_back(i);
   }
+  // Canonical ordering: components sorted by their smallest atom index
+  // (members are ascending, so that is the front). Root values depend on
+  // union order — and therefore on the thread count — but this ordering
+  // does not.
+  std::vector<std::vector<std::uint32_t>> components;
+  components.reserve(roots.size());
+  for (auto& [root, members] : roots) components.push_back(std::move(members));
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
 
   FragmentSet set;
   set.atom_fragment.assign(n, 0);
   std::uint32_t next = 0;
-  for (auto& [root, members] : roots) {
+  for (auto& members : components) {
     Fragment f;
     f.id = next++;
     f.atoms = std::move(members);

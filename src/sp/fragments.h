@@ -13,6 +13,7 @@
 
 #include "md/atoms.h"
 #include "sp/adjacency.h"
+#include "trace/sink.h"
 
 namespace ioc::sp {
 
@@ -35,8 +36,14 @@ struct FragmentSet {
 };
 
 /// Decompose the bond graph into fragments (connected components via
-/// union-find) and compute per-fragment geometry.
-FragmentSet find_fragments(const md::AtomData& atoms, const Adjacency& bonds);
+/// union-find) and compute per-fragment geometry. `threads` parallelizes
+/// the bond pass (per-chunk local union-find over atom ranges, merged in
+/// chunk order); fragment ids are canonical — ordered by each component's
+/// smallest atom index — so every thread count yields the same FragmentSet.
+/// An optional sink records a kernel.compute span per invocation.
+FragmentSet find_fragments(const md::AtomData& atoms, const Adjacency& bonds,
+                           unsigned threads = 1,
+                           trace::TraceSink* sink = nullptr);
 
 /// What happened to the fragment population between two steps.
 struct FragmentEvent {

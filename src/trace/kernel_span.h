@@ -1,0 +1,50 @@
+// RAII wall-clock span for the compute kernels. Unlike the DES spans
+// (virtual time), kernel invocations happen in real time on the analytics
+// substrate, so the guard stamps steady_clock nanoseconds — the same int64
+// span fields, one scale per category. `ioc_trace summarize` then shows
+// ns-per-invocation per kernel, and the threads/atoms args make the
+// speedup-vs-cores trajectory readable straight from a recorded trace.
+#pragma once
+
+#include <chrono>
+
+#include "trace/sink.h"
+
+namespace ioc::trace {
+
+class KernelSpan {
+ public:
+  /// Opens a "kernel.compute" span attributed to `kernel` (e.g. "bonds").
+  /// No-op (and allocation-free) when tracing is inactive on `sink`.
+  KernelSpan(TraceSink* sink, const char* kernel, double threads, double atoms)
+      : sink_(active(sink) ? sink : nullptr),
+        kernel_(kernel),
+        threads_(threads),
+        atoms_(atoms) {
+    if (sink_ != nullptr) start_ = now_ns();
+  }
+
+  ~KernelSpan() {
+    if (sink_ == nullptr) return;
+    sink_->span("kernel.compute", "kernel", kernel_, 0, start_, now_ns(),
+                {{"threads", threads_}, {"atoms", atoms_}});
+  }
+
+  KernelSpan(const KernelSpan&) = delete;
+  KernelSpan& operator=(const KernelSpan&) = delete;
+
+ private:
+  static des::SimTime now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  TraceSink* sink_;
+  const char* kernel_;
+  double threads_;
+  double atoms_;
+  des::SimTime start_ = 0;
+};
+
+}  // namespace ioc::trace

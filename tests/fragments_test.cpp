@@ -203,5 +203,30 @@ TEST(FragmentEventNames, AllNamed) {
                "continued");
 }
 
+TEST(Fragments, ThreadedMatchesSerial) {
+  // A fragmented configuration: crystal with a carved gap, so the bond
+  // graph has several components of different sizes.
+  auto atoms = md::make_fcc(4, 4, 4, md::kLjFccLatticeConstant);
+  md::AtomData sparse;
+  sparse.box = atoms.box;
+  sparse.box.hi.x *= 4;  // break periodic bonding across x
+  std::int64_t id = 0;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (atoms.pos[i].y > 2.0 && atoms.pos[i].y < 3.0) continue;  // slab gap
+    sparse.add(id++, atoms.pos[i]);
+  }
+  auto adj = BondAnalysis({1.3}).compute(sparse);
+  const auto serial = find_fragments(sparse, adj, 1);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const auto par = find_fragments(sparse, adj, threads);
+    ASSERT_EQ(par.count(), serial.count()) << "threads=" << threads;
+    EXPECT_EQ(par.atom_fragment, serial.atom_fragment);
+    for (std::size_t f = 0; f < serial.count(); ++f) {
+      EXPECT_EQ(par.fragments[f].id, serial.fragments[f].id);
+      EXPECT_EQ(par.fragments[f].atoms, serial.fragments[f].atoms);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ioc::sp

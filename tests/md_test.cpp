@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "md/atoms.h"
 #include "md/cells.h"
@@ -256,6 +260,184 @@ TEST(LjForce, PairEnergyZeroBeyondCutoff) {
   EXPECT_DOUBLE_EQ(lj.pair_energy(2.6 * 2.6), 0.0);
   EXPECT_LT(lj.pair_energy(1.2 * 1.2), 0.0);   // attractive well
   EXPECT_GT(lj.pair_energy(0.9 * 0.9), 0.0);   // repulsive core
+}
+
+TEST(LjForce, PairTermsConsistentWithEnergyDerivative) {
+  LjForce lj;
+  const double r = 1.2;
+  const double h = 1e-6;
+  const auto t = lj.pair_terms(r * r);
+  const double dUdr = (lj.pair_energy((r + h) * (r + h)) -
+                       lj.pair_energy((r - h) * (r - h))) /
+                      (2 * h);
+  EXPECT_NEAR(t.fmag_over_r * r, -dUdr, 1e-6);
+  EXPECT_DOUBLE_EQ(t.energy, lj.pair_energy(r * r));
+}
+
+// Some thermal disorder so pair distances are not lattice-degenerate.
+AtomData jiggled_crystal(std::size_t cells, double amp = 0.05) {
+  auto atoms = make_fcc(cells, cells, cells, kLjFccLatticeConstant);
+  std::uint64_t s = 12345;
+  auto next = [&s] {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(s >> 11) / 9007199254740992.0 - 0.5;
+  };
+  for (auto& p : atoms.pos) {
+    p.x += amp * next();
+    p.y += amp * next();
+    p.z += amp * next();
+  }
+  return atoms;
+}
+
+TEST(LjForce, ThreadsOneBitIdenticalToReferencePath) {
+  auto a = jiggled_crystal(3);
+  auto b = a;
+  LjForce lj;
+  const ForceResult ra = lj.compute(a);
+  CellList cells(b.box, lj.params().cutoff * lj.params().sigma);
+  const ForceResult rb = lj.compute(b, cells, 1);
+  EXPECT_EQ(ra.potential_energy, rb.potential_energy);
+  EXPECT_EQ(ra.virial, rb.virial);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.force[i].x, b.force[i].x);
+    EXPECT_EQ(a.force[i].y, b.force[i].y);
+    EXPECT_EQ(a.force[i].z, b.force[i].z);
+  }
+}
+
+TEST(LjForce, ThreadedMatchesSerialWithinTolerance) {
+  auto serial = jiggled_crystal(3);
+  LjForce lj;
+  const ForceResult rs = lj.compute(serial);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    auto par = serial;
+    CellList cells(par.box, lj.params().cutoff * lj.params().sigma);
+    const ForceResult rp = lj.compute(par, cells, threads);
+    EXPECT_NEAR(rp.potential_energy, rs.potential_energy,
+                1e-9 * std::abs(rs.potential_energy))
+        << "threads=" << threads;
+    EXPECT_NEAR(rp.virial, rs.virial, 1e-9 * std::abs(rs.virial));
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_NEAR(par.force[i].x, serial.force[i].x, 1e-9);
+      EXPECT_NEAR(par.force[i].y, serial.force[i].y, 1e-9);
+      EXPECT_NEAR(par.force[i].z, serial.force[i].z, 1e-9);
+    }
+  }
+}
+
+TEST(CellList, NeighborCsrMatchesNeighborLists) {
+  auto atoms = jiggled_crystal(3);
+  CellList cl(atoms.box, 1.3);
+  cl.build(atoms.pos);
+  const auto lists = cl.neighbor_lists(atoms.pos);
+  for (unsigned threads : {1u, 4u}) {
+    std::vector<std::uint32_t> offsets, neighbors;
+    cl.neighbor_csr(atoms.pos, threads, &offsets, &neighbors);
+    ASSERT_EQ(offsets.size(), atoms.size() + 1);
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      std::vector<std::uint32_t> row(neighbors.begin() + offsets[i],
+                                     neighbors.begin() + offsets[i + 1]);
+      auto expect = lists[i];
+      std::sort(expect.begin(), expect.end());
+      EXPECT_EQ(row, expect) << "atom " << i << " threads " << threads;
+    }
+  }
+}
+
+std::set<std::pair<std::uint32_t, std::uint32_t>> pair_set(
+    const CellList& cl, const std::vector<Vec3>& pos) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  cl.for_each_pair(pos, [&pairs](std::size_t i, std::size_t j, double) {
+    auto a = static_cast<std::uint32_t>(std::min(i, j));
+    auto b = static_cast<std::uint32_t>(std::max(i, j));
+    pairs.emplace(a, b);
+  });
+  return pairs;
+}
+
+TEST(CellList, SkinAvoidsRebuildUnderSmallDrift) {
+  auto atoms = jiggled_crystal(3);
+  const double cutoff = 2.5, skin = 0.4;
+  CellList skinned(atoms.box, cutoff, skin);
+  skinned.build(atoms.pos);
+  EXPECT_EQ(skinned.builds(), 1u);
+
+  // Drift everything by less than skin/2: no rebuild allowed...
+  auto moved = atoms.pos;
+  for (auto& p : moved) {
+    p.x += 0.15;
+    p.y -= 0.1;
+  }
+  EXPECT_FALSE(skinned.update(atoms.box, moved));
+  EXPECT_EQ(skinned.builds(), 1u);
+
+  // ...and the stale structure still enumerates the exact cutoff pair set.
+  CellList fresh(atoms.box, cutoff);
+  fresh.build(moved);
+  EXPECT_EQ(pair_set(skinned, moved), pair_set(fresh, moved));
+}
+
+TEST(CellList, RebuildsAfterHalfSkinDrift) {
+  auto atoms = jiggled_crystal(3);
+  CellList cl(atoms.box, 2.5, 0.4);
+  cl.build(atoms.pos);
+  auto moved = atoms.pos;
+  moved[7].x += 0.21;  // > skin/2
+  EXPECT_TRUE(cl.update(atoms.box, moved));
+  EXPECT_EQ(cl.builds(), 2u);
+  // Zero-skin lists always rebuild (the historical behavior).
+  CellList noskin(atoms.box, 2.5);
+  noskin.build(atoms.pos);
+  EXPECT_TRUE(noskin.update(atoms.box, atoms.pos));
+}
+
+TEST(CellList, RebuildsWhenBoxChanges) {
+  auto atoms = jiggled_crystal(3);
+  CellList cl(atoms.box, 2.5, 0.4);
+  cl.build(atoms.pos);
+  Box strained = atoms.box;
+  strained.hi.x *= 1.01;
+  EXPECT_TRUE(cl.update(strained, atoms.pos));
+  EXPECT_EQ(cl.builds(), 2u);
+}
+
+TEST(MdSim, ThreadedRunMatchesSerial) {
+  auto run = [](unsigned threads) {
+    MdConfig cfg;
+    cfg.threads = threads;
+    MdSim sim(make_fcc(3, 3, 3, kLjFccLatticeConstant), cfg, 7);
+    sim.initialize_velocities();
+    sim.run(20);
+    return sim;
+  };
+  const auto serial = run(1);
+  const auto par = run(4);
+  EXPECT_NEAR(par.potential_energy(), serial.potential_energy(),
+              1e-9 * std::abs(serial.potential_energy()));
+  for (std::size_t i = 0; i < serial.atoms().size(); ++i) {
+    EXPECT_NEAR(par.atoms().pos[i].x, serial.atoms().pos[i].x, 1e-7);
+    EXPECT_NEAR(par.atoms().pos[i].y, serial.atoms().pos[i].y, 1e-7);
+    EXPECT_NEAR(par.atoms().pos[i].z, serial.atoms().pos[i].z, 1e-7);
+  }
+}
+
+TEST(MdSim, NeighborSkinReducesCellBuilds) {
+  auto run = [](double skin) {
+    MdConfig cfg;
+    cfg.neighbor_skin = skin;
+    MdSim sim(make_fcc(3, 3, 3, kLjFccLatticeConstant), cfg, 7);
+    sim.initialize_velocities();
+    sim.run(40);
+    return sim;
+  };
+  const auto every_step = run(0.0);
+  const auto skinned = run(0.4);
+  EXPECT_GE(every_step.cell_builds(), 40u);
+  EXPECT_LT(skinned.cell_builds(), every_step.cell_builds());
+  // The trajectory stays physically equivalent: same energy to tolerance.
+  EXPECT_NEAR(skinned.total_energy(), every_step.total_energy(),
+              1e-6 * std::abs(every_step.total_energy()));
 }
 
 }  // namespace

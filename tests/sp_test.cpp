@@ -306,5 +306,128 @@ TEST(CostModel, VizExtensionCosts) {
   EXPECT_DOUBLE_EQ(v, cm.config().viz_coeff);
 }
 
+md::AtomData distorted_crystal() {
+  auto atoms = md::make_fcc(4, 4, 4, kA);
+  std::uint64_t s = 99;
+  auto next = [&s] {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(s >> 11) / 9007199254740992.0 - 0.5;
+  };
+  for (auto& p : atoms.pos) {
+    p.x += 0.06 * next();
+    p.y += 0.06 * next();
+    p.z += 0.06 * next();
+  }
+  return atoms;
+}
+
+TEST(Bonds, ThreadedMatchesSerial) {
+  auto atoms = distorted_crystal();
+  const Adjacency serial = BondAnalysis{}.compute(atoms);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    BondsConfig cfg;
+    cfg.threads = threads;
+    EXPECT_EQ(BondAnalysis(cfg).compute(atoms), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Csym, ThreadedBitIdentical) {
+  auto atoms = distorted_crystal();
+  const auto serial = CentralSymmetry{}.compute(atoms);
+  CsymConfig cfg;
+  cfg.threads = 4;
+  const auto par = CentralSymmetry(cfg).compute(atoms);
+  ASSERT_EQ(par.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(par[i], serial[i]) << "atom " << i;  // per-atom independent
+  }
+}
+
+TEST(Cna, ThreadedMatchesSerial) {
+  auto atoms = distorted_crystal();
+  const auto serial = CommonNeighborAnalysis({0.854 * kA}).classify(atoms);
+  CnaConfig cfg;
+  cfg.cutoff = 0.854 * kA;
+  cfg.threads = 4;
+  const auto par = CommonNeighborAnalysis(cfg).classify(atoms);
+  EXPECT_EQ(par.labels, serial.labels);
+}
+
+TEST(CostModel, ThreadsOneReproducesLegacyCalibration) {
+  CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.thread_speedup(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.thread_speedup(1), 1.0);
+  const std::uint64_t n = 8'819'989;
+  for (auto m : {ComputeModel::kRoundRobin, ComputeModel::kParallel}) {
+    EXPECT_DOUBLE_EQ(cm.step_seconds(ComponentKind::kBonds, m, n, 4, 1),
+                     cm.step_seconds(ComponentKind::kBonds, m, n, 4));
+  }
+}
+
+TEST(CostModel, ThreadSpeedupIsAmdahlBounded) {
+  CostModel cm;
+  double prev = 1.0;
+  for (unsigned t : {2u, 4u, 8u, 16u}) {
+    const double s = cm.thread_speedup(t);
+    EXPECT_GT(s, prev);           // monotonic in threads
+    EXPECT_LT(s, t);              // below ideal (serial fraction)
+    prev = s;
+  }
+  // Ceiling: 1 / serial_fraction.
+  EXPECT_LT(cm.thread_speedup(100000),
+            1.0 / cm.config().thread_serial_fraction);
+  // And the expected >= 3x at 8 threads the microbench baseline targets.
+  EXPECT_GE(cm.thread_speedup(8), 3.0);
+}
+
+TEST(CostModel, ThreadsShortenStepsAndNarrowWidth) {
+  CostModel cm;
+  const std::uint64_t n = 8'819'989;
+  const double t1 = cm.step_seconds(ComponentKind::kBonds,
+                                    ComputeModel::kRoundRobin, n, 1, 1);
+  const double t8 = cm.step_seconds(ComponentKind::kBonds,
+                                    ComputeModel::kRoundRobin, n, 1, 8);
+  EXPECT_DOUBLE_EQ(t8, t1 / cm.thread_speedup(8));
+  const double rate = 1.0 / 15.0;
+  EXPECT_LE(cm.width_for_throughput(ComponentKind::kBonds,
+                                    ComputeModel::kRoundRobin, n, rate, 8),
+            cm.width_for_throughput(ComponentKind::kBonds,
+                                    ComputeModel::kRoundRobin, n, rate, 1));
+}
+
+TEST(KernelSpan, ParallelKernelsEmitComputeSpans) {
+  auto atoms = distorted_crystal();
+  trace::TraceSink sink(64);
+
+  BondsConfig bc;
+  bc.threads = 2;
+  bc.sink = &sink;
+  BondAnalysis(bc).compute(atoms);
+
+  CsymConfig cc;
+  cc.threads = 2;
+  cc.sink = &sink;
+  CentralSymmetry(cc).compute(atoms);
+
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.name, "kernel.compute");
+    EXPECT_EQ(s.category, "kernel");
+    EXPECT_DOUBLE_EQ(s.arg_or("threads"), 2.0);
+    EXPECT_DOUBLE_EQ(s.arg_or("atoms"), static_cast<double>(atoms.size()));
+    EXPECT_GE(s.end, s.start);
+  }
+  EXPECT_EQ(spans[0].source, "bonds");
+  EXPECT_EQ(spans[1].source, "csym");
+
+  // Disabled sink: nothing recorded, kernels still run.
+  sink.clear();
+  sink.set_enabled(false);
+  BondAnalysis(bc).compute(atoms);
+  EXPECT_EQ(sink.size(), 0u);
+}
+
 }  // namespace
 }  // namespace ioc::sp

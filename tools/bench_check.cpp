@@ -1,0 +1,129 @@
+// bench_check: validates a BENCH_kernels.json emitted by
+// bench/kernel_microbench — the machine-readable kernel baseline CI keeps
+// honest the same way doc_check keeps the docs honest. Checks the schema
+// tag, the unit, and every result row (known kernel, positive atoms/
+// ns_per_atom, sane thread counts), and requires each threaded kernel to
+// report both a threads=1 baseline and at least one threads>1 point so the
+// speedup trajectory is always present in the artifact.
+//
+// usage: bench_check <BENCH_kernels.json>   exit 0 clean, 1 findings, 2 usage.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/json.h"
+
+namespace {
+
+bool read_file(const std::string& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: bench_check <BENCH_kernels.json>\n");
+    return 2;
+  }
+  std::string text;
+  if (!read_file(argv[1], &text)) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  ioc::trace::json::Value root;
+  std::string error;
+  if (!ioc::trace::json::parse(text, &root, &error)) {
+    std::fprintf(stderr, "bench_check: %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> findings;
+  auto fail = [&findings](std::string msg) {
+    findings.push_back(std::move(msg));
+  };
+
+  if (!root.is_object()) fail("top level is not an object");
+  if (root.str_or("schema") != "ioc.bench.kernels/v1") {
+    fail("schema is '" + root.str_or("schema") +
+         "', expected 'ioc.bench.kernels/v1'");
+  }
+  if (root.str_or("unit") != "ns_per_atom") {
+    fail("unit is '" + root.str_or("unit") + "', expected 'ns_per_atom'");
+  }
+  if (root.num_or("threads_available") < 1) {
+    fail("threads_available must be >= 1");
+  }
+
+  static const std::set<std::string> kKnownKernels = {
+      "lj_force", "bonds", "bonds_naive", "csym", "cna"};
+  // Kernels that must report a serial baseline and a threaded point.
+  static const std::set<std::string> kThreadedKernels = {"lj_force", "bonds",
+                                                         "csym", "cna"};
+
+  const auto* results = root.find("results");
+  if (results == nullptr || !results->is_array()) {
+    fail("missing 'results' array");
+  } else if (results->array.empty()) {
+    fail("'results' is empty");
+  } else {
+    std::map<std::string, std::set<long>> thread_points;
+    std::size_t idx = 0;
+    for (const auto& r : results->array) {
+      const std::string at = "results[" + std::to_string(idx++) + "]";
+      if (!r.is_object()) {
+        fail(at + " is not an object");
+        continue;
+      }
+      const std::string kernel = r.str_or("kernel");
+      if (kKnownKernels.count(kernel) == 0) {
+        fail(at + " has unknown kernel '" + kernel + "'");
+        continue;
+      }
+      if (r.num_or("atoms") <= 0) fail(at + " atoms must be > 0");
+      if (r.num_or("size") <= 0) fail(at + " size must be > 0");
+      if (r.num_or("ns_per_atom") <= 0) {
+        fail(at + " ns_per_atom must be > 0");
+      }
+      if (r.num_or("iterations") < 1) fail(at + " iterations must be >= 1");
+      const double threads = r.num_or("threads");
+      if (threads < 1 || threads > 1024) {
+        fail(at + " threads out of range");
+      }
+      thread_points[kernel].insert(static_cast<long>(threads));
+    }
+    for (const auto& kernel : kThreadedKernels) {
+      const auto it = thread_points.find(kernel);
+      if (it == thread_points.end()) {
+        fail("kernel '" + kernel + "' has no results");
+        continue;
+      }
+      if (it->second.count(1) == 0) {
+        fail("kernel '" + kernel + "' lacks a threads=1 baseline");
+      }
+      if (*it->second.rbegin() <= 1) {
+        fail("kernel '" + kernel + "' lacks a threads>1 measurement");
+      }
+    }
+  }
+
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "bench_check: %s: %s\n", argv[1], f.c_str());
+  }
+  if (findings.empty()) {
+    const auto n = root.find("results");
+    std::printf("bench_check: %s ok (%zu results)\n", argv[1],
+                n != nullptr ? n->array.size() : 0);
+    return 0;
+  }
+  return 1;
+}
