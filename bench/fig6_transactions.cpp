@@ -32,6 +32,7 @@ int main() {
   util::Table t({"writers:readers", "txn time (ms)", "messages", "outcome"});
   std::vector<double> times;
   std::vector<double> writer_counts;
+  bool messages_exact = true;
   for (const Ratio r : {Ratio{128, 2}, Ratio{256, 4}, Ratio{512, 4},
                         Ratio{1024, 8}, Ratio{2048, 16}}) {
     des::Simulator sim;
@@ -46,6 +47,10 @@ int main() {
     spawn(sim, run_txn(h, &res));
     sim.run_until(300 * des::kSecond);
     const double ms = des::to_seconds(res.duration) * 1e3;
+    // A healthy (fault-free) commit is exactly 3 rounds of 2 bus messages
+    // per participant plus 4 network hops per round — nothing hardcoded.
+    messages_exact = messages_exact &&
+                     res.messages == 6ull * (r.writers + r.readers) + 12ull;
     times.push_back(ms);
     writer_counts.push_back(static_cast<double>(r.writers));
     t.add_row({std::to_string(r.writers) + ":" + std::to_string(r.readers),
@@ -60,6 +65,9 @@ int main() {
   const double growth = times.back() / times.front();
   const double writers_growth = writer_counts.back() / writer_counts.front();
   bench::shape_check(monotone, "txn time grows with the writer side");
+  bench::shape_check(messages_exact,
+                     "message count is derived, not hardcoded: 6*(w+r) bus "
+                     "messages + 4 hops x 3 rounds");
   bench::shape_check(growth <= writers_growth * 1.5,
                      "scaling is at worst ~linear in writers (the paper's "
                      "'good scalability')");

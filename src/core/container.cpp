@@ -45,9 +45,41 @@ void Container::shutdown() {
   if (output_) output_->close();
 }
 
+void Container::fence() {
+  if (mgr_ep_ == ev::kInvalidEndpoint && replicas_.empty() &&
+      state_ == State::kOffline) {
+    return;  // already fenced / torn down
+  }
+  IOC_WARN << "container " << name() << " fenced";
+  state_ = State::kOffline;
+  fenced_ = true;
+  is_sink_ = false;
+  disk_mode_ = false;
+  for (auto& r : replicas_) {
+    if (r->ep != ev::kInvalidEndpoint) {
+      env_.bus->close(r->ep);
+      r->ep = ev::kInvalidEndpoint;
+    }
+    if (r->stop) r->stop->set();
+  }
+  if (input_ != nullptr) input_->kick();  // wake readers parked on the input
+  for (auto& r : replicas_) fenced_replicas_.push_back(std::move(r));
+  replicas_.clear();
+  node_list_.clear();
+  if (mgr_ep_ != ev::kInvalidEndpoint) {
+    env_.bus->close(mgr_ep_);
+    mgr_ep_ = ev::kInvalidEndpoint;
+  }
+  output_->close();
+  done_.set();
+}
+
 void Container::start() {
   started_ = true;
   manager_proc_ = spawn(*env_.sim, manager_loop());
+  if (env_.heartbeat_interval > 0) {
+    heartbeat_proc_ = spawn(*env_.sim, heartbeat_loop());
+  }
   for (auto& r : replicas_) {
     if (r->proc.valid()) continue;
     if (spec_.model == sp::ComputeModel::kRoundRobin ||
@@ -197,6 +229,28 @@ des::Task<void> Container::post_metric(mon::MetricKind kind,
                           ev::TrafficClass::kMonitoring);
 }
 
+des::Process Container::heartbeat_loop() {
+  while (env_.heartbeat_interval > 0 && !heartbeats_stopped_) {
+    co_await des::delay(*env_.sim, env_.heartbeat_interval);
+    if (heartbeats_stopped_) break;
+    if (state_ != State::kOnline || mgr_ep_ == ev::kInvalidEndpoint) break;
+    if (gm_ep_ == ev::kInvalidEndpoint) continue;
+    ev::Message m;
+    m.type = kMsgHeartbeat;
+    m.size_bytes = 32;
+    const ev::EndpointId src = mgr_ep_;
+    const bool ok = co_await env_.bus->post(src, gm_ep_, std::move(m),
+                                            ev::TrafficClass::kMonitoring);
+    // Only a delivery failure while this container is itself alive indicts
+    // the GM: a crashed container's own endpoint is gone too, and a fault-
+    // injected drop reports success by design (lossy-fabric semantics).
+    if (!ok && env_.bus->find(src) != nullptr && state_ == State::kOnline &&
+        env_.on_gm_unreachable) {
+      env_.on_gm_unreachable();
+    }
+  }
+}
+
 des::Task<void> Container::metadata_exchange(std::size_t new_replicas,
                                              std::size_t existing,
                                              ProtocolReport& report) {
@@ -300,6 +354,10 @@ des::Task<ProtocolReport> Container::do_increase(
       const SimTime ta = env_.sim->now();
       co_await env_.batch->aprun_launch();
       rep.aprun = env_.sim->now() - ta;
+      if (fenced_) {  // evicted while launching: the grant is already gone
+        rep.ok = false;
+        co_return rep;
+      }
       const std::size_t existing = replicas_.size();
       for (net::NodeId n : add) add_replica(n);
       co_await metadata_exchange(add.size(), existing, rep);
@@ -315,6 +373,11 @@ des::Task<ProtocolReport> Container::do_increase(
       co_await input_->pause();
       rep.pause_wait = env_.sim->now() - tp;
       co_await stop_replicas(0, replicas_.size());
+      if (fenced_) {  // fence() already tore the instance down
+        input_->resume();
+        rep.ok = false;
+        co_return rep;
+      }
       for (auto& r : replicas_) env_.bus->close(r->ep);
       replicas_.clear();
       std::vector<net::NodeId> all = node_list_;
@@ -323,6 +386,11 @@ des::Task<ProtocolReport> Container::do_increase(
       const SimTime ta = env_.sim->now();
       co_await env_.batch->aprun_launch();
       rep.aprun = env_.sim->now() - ta;
+      if (fenced_) {  // evicted mid-relaunch: do not resurrect the cohort
+        input_->resume();
+        rep.ok = false;
+        co_return rep;
+      }
       for (net::NodeId n : all) add_replica(n);
       co_await metadata_exchange(replicas_.size(), 0, rep);
       co_await endpoint_update(rep);
@@ -357,11 +425,21 @@ des::Task<DonePayload> Container::do_decrease(std::uint32_t count) {
   // replica cannot be removed mid-step.
   const SimTime tp = env_.sim->now();
   co_await input_->pause();
+  if (fenced_) {  // evicted while paused: nothing left to shrink
+    input_->resume();
+    rep.ok = false;
+    co_return done;
+  }
 
   const std::size_t keep = replicas_.size() - count;
   if (spec_.model == sp::ComputeModel::kParallel) {
     co_await stop_replicas(0, replicas_.size());
     rep.pause_wait = env_.sim->now() - tp;
+    if (fenced_) {  // fence() already tore the instance down
+      input_->resume();
+      rep.ok = false;
+      co_return done;
+    }
     for (auto& r : replicas_) env_.bus->close(r->ep);
     replicas_.clear();
     std::vector<net::NodeId> all = node_list_;
@@ -373,6 +451,11 @@ des::Task<DonePayload> Container::do_decrease(std::uint32_t count) {
       const SimTime ta = env_.sim->now();
       co_await env_.batch->aprun_launch();
       rep.aprun = env_.sim->now() - ta;
+      if (fenced_) {  // evicted mid-relaunch: do not resurrect the cohort
+        input_->resume();
+        rep.ok = false;
+        co_return done;
+      }
       for (net::NodeId n : all) add_replica(n);
       co_await metadata_exchange(replicas_.size(), 0, rep);
     }
@@ -380,6 +463,11 @@ des::Task<DonePayload> Container::do_decrease(std::uint32_t count) {
     co_await stop_replicas(keep, replicas_.size());
     rep.pause_wait = env_.sim->now() - tp;
     co_await migrate_state(count, /*to_replicas=*/false, rep);
+    if (fenced_) {  // evicted mid-shrink: the ledger was repaired wholesale
+      input_->resume();
+      rep.ok = false;
+      co_return done;
+    }
     for (std::size_t i = keep; i < replicas_.size(); ++i) {
       done.freed_nodes.push_back(replicas_[i]->node);
       env_.bus->close(replicas_[i]->ep);
@@ -435,9 +523,14 @@ des::Task<ProtocolReport> Container::do_activate(
     co_return rep;
   }
   state_ = State::kOnline;
+  fenced_ = false;  // a fenced container may be resurrected via activate
   const SimTime ta = env_.sim->now();
   co_await env_.batch->aprun_launch();
   rep.aprun = env_.sim->now() - ta;
+  if (fenced_) {  // fenced again while launching
+    rep.ok = false;
+    co_return rep;
+  }
   for (net::NodeId n : nodes) add_replica(n);
   co_await metadata_exchange(replicas_.size(), 0, rep);
   co_await endpoint_update(rep);
@@ -446,10 +539,37 @@ des::Task<ProtocolReport> Container::do_activate(
 }
 
 des::Process Container::manager_loop() {
-  ev::Endpoint* ep = env_.bus->find(mgr_ep_);
-  while (ep != nullptr) {
+  // Replies to the mutating protocol rounds, keyed by request token. A GM
+  // retry (or a fault-injected duplicate) re-delivers the same token;
+  // replaying the cached reply keeps each request at-most-once — a resize
+  // must not execute twice because its DONE was lost in flight. Bounded:
+  // only the newest entries are kept.
+  constexpr std::size_t kReplyCacheSize = 64;
+  std::vector<std::pair<std::uint64_t, ev::Message>> served;
+  while (true) {
+    // Re-resolve every iteration: an injected node crash (or a fence)
+    // destroys the endpoint while this loop is suspended in a handler.
+    ev::Endpoint* ep = env_.bus->find(mgr_ep_);
+    if (ep == nullptr) break;
     auto msg = co_await ep->mailbox().get();
     if (!msg.has_value()) break;
+
+    const bool mutating =
+        msg->type == kMsgIncrease || msg->type == kMsgDecrease ||
+        msg->type == kMsgOffline || msg->type == kMsgActivate;
+    if (mutating && msg->token != 0) {
+      bool replayed = false;
+      for (const auto& [tok, cached] : served) {
+        if (tok == msg->token) {
+          ev::Message again = cached;
+          co_await env_.bus->post(mgr_ep_, msg->from, std::move(again));
+          replayed = true;
+          break;
+        }
+      }
+      if (replayed) continue;
+    }
+
     ev::Message reply;
     reply.type = kMsgDone;
     reply.token = msg->token;
@@ -507,6 +627,10 @@ des::Process Container::manager_loop() {
       IOC_WARN << "container " << name() << ": unknown control message "
                << msg->type;
       continue;
+    }
+    if (mutating && msg->token != 0) {
+      if (served.size() >= kReplyCacheSize) served.erase(served.begin());
+      served.emplace_back(msg->token, reply);
     }
     co_await env_.bus->post(mgr_ep_, msg->from, std::move(reply));
   }

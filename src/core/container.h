@@ -50,6 +50,14 @@ class Container {
     /// Width of the writer group feeding a stream: the upstream container's
     /// replica count, or the simulation's I/O writer count for the source.
     std::function<std::uint32_t(const std::string& upstream)> upstream_width;
+    /// CM -> GM liveness probe cadence; 0 (the default) disables the
+    /// heartbeat loop entirely, keeping message counts of existing runs
+    /// unchanged. See docs/ROBUSTNESS.md.
+    des::SimTime heartbeat_interval = 0;
+    /// Invoked by a container whose heartbeat could not be delivered while
+    /// its own endpoint is still alive — i.e. the GM endpoint is gone. The
+    /// deployment uses this to trigger failover_gm().
+    std::function<void()> on_gm_unreachable;
   };
 
   enum class State { kOnline, kOffline };
@@ -87,6 +95,16 @@ class Container {
   /// frame). The deployment calls this, then drains remaining events.
   void shutdown();
   void set_gm_endpoint(ev::EndpointId gm) { gm_ep_ = gm; }
+  /// Stop the liveness heartbeat. The deployment calls this once the whole
+  /// pipeline has drained — heartbeats are pure background traffic at that
+  /// point and would keep the event loop alive forever.
+  void stop_heartbeats() { heartbeats_stopped_ = true; }
+  /// STONITH-style eviction, called by the GM when this container's manager
+  /// stopped answering (retries exhausted or endpoint gone): close every
+  /// endpoint, stop the replicas, clear the node ledger, and mark the
+  /// container offline-done. Safe to call on an already-crashed container —
+  /// that is its main use. The caller repairs the resource pool.
+  void fence();
   /// Sink containers report pipeline end-to-end latency (Fig. 10).
   void set_sink(bool s) { is_sink_ = s; }
   bool is_sink() const { return is_sink_; }
@@ -115,6 +133,7 @@ class Container {
   };
 
   des::Process manager_loop();
+  des::Process heartbeat_loop();
   des::Process replica_loop(Replica* r);
   des::Task<void> process_step(Replica* r, dt::StepData step);
   des::Task<void> emit_output(dt::StepData in);
@@ -153,9 +172,19 @@ class Container {
 
   State state_ = State::kOnline;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  /// Replicas removed by fence(). Their loops may still be suspended on the
+  /// input stream or a stop event; the objects must outlive those frames,
+  /// which finish during the deployment's teardown drain.
+  std::vector<std::unique_ptr<Replica>> fenced_replicas_;
   std::vector<net::NodeId> node_list_;
   bool is_sink_ = false;
   bool started_ = false;
+  /// Set by fence() so a resize handler suspended mid-protocol (on a pause,
+  /// aprun, or state migration) notices on resume that the GM evicted the
+  /// container and bails out instead of resurrecting replicas the resource
+  /// ledger no longer records. Cleared if the container is later activated.
+  bool fenced_ = false;
+  bool heartbeats_stopped_ = false;
 
   // Disk path used after downstream stages go offline.
   bool disk_mode_ = false;
@@ -170,6 +199,7 @@ class Container {
   std::uint64_t steps_processed_ = 0;
   std::uint64_t last_items_ = 0;
   des::Process manager_proc_;
+  des::Process heartbeat_proc_;
 };
 
 }  // namespace ioc::core

@@ -122,14 +122,121 @@ void GlobalManager::trace_control(const std::string& container,
   }
 }
 
+void GlobalManager::trace_marker(const std::string& container,
+                                 const char* marker, int delta) {
+  ControlTraceEvent ev;
+  ev.at = env_.sim->now();
+  ev.container = container;
+  ev.type = marker;
+  ev.to_cm = true;
+  ev.delta = delta;
+  trace_.push_back(std::move(ev));  // markers never advance the FSM
+}
+
+des::Task<ev::Message> GlobalManager::escalate_fence(Container* c,
+                                                     std::uint64_t token) {
+  const std::string name = c->name();
+  IOC_WARN << "GM escalating: fencing container " << name;
+  // Offline fallback, as in offline_cascade: before the stage disappears,
+  // its upstream survivor switches its output to disk with provenance
+  // labels, so no timestep loses its processing history.
+  const std::string upstream = c->spec().upstream;
+  Container* survivor = upstream.empty() ? nullptr : find(upstream);
+  if (survivor != nullptr && survivor->online() && !survivor->disk_mode()) {
+    auto [done_ops, pending_ops] = provenance_labels(upstream);
+    ev::Message m;
+    m.type = kMsgSwitchToDisk;
+    m.payload = SwitchToDiskPayload{done_ops, pending_ops};
+    co_await request_cm(survivor, std::move(m));
+    if (survivor->online()) survivor->set_sink(true);
+  }
+  c->fence();
+  const auto freed = pool_.reclaim_all(name);
+  // The recorded delta is the pool's view; the lint replay settles the
+  // fenced container's width to zero regardless (an in-flight grant may not
+  // have reached the trace ledger yet).
+  trace_marker(name, kMarkEscalate, -static_cast<int>(freed.size()));
+  if (auto it = fsm_.find(name); it != fsm_.end()) {
+    it->second.reset(CmState::kOffline);
+  }
+  recompute_sinks();
+  ProtocolReport rep;
+  rep.action = "fence";
+  rep.container = name;
+  rep.delta = -static_cast<int>(freed.size());
+  rep.ok = false;
+  log_event("fence", name, "control round exhausted retries/unreachable",
+            rep.delta, rep);
+  if (trace::active(env_.trace)) {
+    env_.trace->span("escalate", "control", name, token, env_.sim->now(),
+                     env_.sim->now(),
+                     {{"freed", static_cast<double>(freed.size())}});
+  }
+  IOC_CHECK(pool_.conserved()) << "pool corrupted fencing " << name;
+  hub_.reset_container(name);
+  ev::Message reply;
+  reply.type = kErrFenced;
+  reply.token = token;
+  co_return reply;
+}
+
 des::Task<ev::Message> GlobalManager::request_cm(Container* c,
                                                  ev::Message m) {
   const std::string type = m.type;
   const des::SimTime t0 = env_.sim->now();
   trace_control(c->name(), m.type, /*to_cm=*/true, 0);
   const CmState from = cm_state(c->name());
-  ev::Message reply = co_await env_.bus->request(ctl_ep_, c->manager_endpoint(),
-                                                 std::move(m));
+  // One token for the whole round, retries included: the CM-side reply
+  // cache recognizes a resend and replays its answer instead of executing
+  // the request a second time.
+  m.token = env_.bus->fresh_token();
+  const std::uint64_t token = m.token;
+  ev::Message reply;
+  for (int attempt = 0;; ++attempt) {
+    if (env_.bus->find(ctl_ep_) == nullptr) {
+      // The GM itself died under this round (simulated crash). Stop
+      // quietly; fencing a healthy container for our own failure would
+      // throw away its nodes for nothing.
+      stopping_ = true;
+      reply = ev::Message{};
+      reply.type = ev::kErrClosed;
+      reply.token = token;
+      co_return reply;
+    }
+    ev::Message send = m;  // keep the original for a possible resend
+    reply = co_await env_.bus->request(ctl_ep_, c->manager_endpoint(),
+                                       std::move(send),
+                                       ev::TrafficClass::kControl,
+                                       opt_.cm_timeout);
+    if (reply.type == ev::kErrClosed) {
+      stopping_ = true;
+      co_return reply;
+    }
+    const bool timeout = reply.type == ev::kErrTimeout;
+    const bool unreachable = reply.type == ev::kErrUnreachable;
+    if (!timeout && !unreachable) break;  // a real CM reply
+    trace_marker(c->name(), kMarkTimeout);
+    if (trace::active(env_.trace)) {
+      env_.trace->span("timeout", "control", c->name(), token,
+                       env_.sim->now(), env_.sim->now());
+    }
+    // A vanished CM endpoint never comes back (crash destroys endpoints;
+    // restart does not resurrect them), so retrying only burns the clock.
+    if (unreachable || attempt >= opt_.cm_retries) {
+      ev::Message fenced = co_await escalate_fence(c, token);
+      co_return fenced;
+    }
+    des::SimTime backoff = opt_.cm_backoff << attempt;
+    if (backoff > opt_.cm_backoff_cap) backoff = opt_.cm_backoff_cap;
+    trace_marker(c->name(), kMarkRetry);
+    if (trace::active(env_.trace)) {
+      env_.trace->span("retry", "control", c->name(), token, env_.sim->now(),
+                       env_.sim->now());
+    }
+    IOC_WARN << "GM: " << type << " round to " << c->name() << " timed out; "
+             << "retry " << attempt + 1 << "/" << opt_.cm_retries;
+    co_await des::delay(*env_.sim, backoff);
+  }
   int delta = 0;
   if (const auto* done = reply.as<DonePayload>()) delta = done->report.delta;
   trace_control(c->name(), reply.type, /*to_cm=*/false, delta);
@@ -195,7 +302,9 @@ des::Task<ProtocolReport> GlobalManager::increase(std::string name,
   rep.gm_cm_messaging = rep.total - rep.aprun - rep.metadata_exchange -
                         rep.pause_wait - rep.endpoint_update -
                         rep.state_migration;
-  if (!rep.ok) pool_.reclaim(name, nodes);
+  // A fenced round already repaired the pool wholesale (reclaim_all);
+  // reclaiming the grant again would throw on the ownership mismatch.
+  if (!rep.ok && reply.type != kErrFenced) pool_.reclaim(name, nodes);
   IOC_CHECK(pool_.conserved()) << "pool corrupted by increase of " << name;
   hub_.reset_container(name);
   co_return rep;
@@ -372,7 +481,12 @@ des::Task<ProtocolReport> GlobalManager::activate(std::string name,
   m.type = kMsgActivate;
   m.payload = IncreasePayload{nodes};
   ev::Message reply = co_await request_cm(c, std::move(m));
-  if (const auto* done = reply.as<DonePayload>()) rep = done->report;
+  if (const auto* done = reply.as<DonePayload>()) {
+    rep = done->report;
+  } else {
+    rep.ok = false;
+    if (reply.type != kErrFenced) pool_.reclaim(name, nodes);
+  }
   recompute_sinks();
   log_event("activate", name, "dynamic branch", rep.delta, rep);
   co_return rep;

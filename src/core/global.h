@@ -33,6 +33,15 @@ class GlobalManager {
     /// happens over successive policy rounds (visible in Fig. 8).
     std::uint32_t max_grant_per_action = 4;
     std::size_t monitoring_window = 4;
+    /// Deadline for one GM -> CM control round. 0 (the default) waits
+    /// forever — the pre-robustness behaviour, kept for runs on a fabric
+    /// known lossless. With a deadline set, an unanswered round is retried
+    /// `cm_retries` times with capped exponential backoff and then
+    /// escalates: the container is fenced (see docs/ROBUSTNESS.md).
+    des::SimTime cm_timeout = 0;
+    int cm_retries = 3;
+    des::SimTime cm_backoff = 500 * des::kMillisecond;
+    des::SimTime cm_backoff_cap = 4 * des::kSecond;
   };
 
   GlobalManager(Container::Env env, const PipelineSpec& spec,
@@ -120,10 +129,19 @@ class GlobalManager {
   des::Process monitor_loop();
   des::Process policy_loop();
   des::Task<ev::Message> request_cm(Container* c, ev::Message m);
+  /// Escalation ladder's last rung before offline fallback: switch the
+  /// fenced container's upstream survivor to disk (provenance-labeled, as
+  /// in offline_cascade), fence the container, and repair the pool. Returns
+  /// the kErrFenced reply request_cm hands to its caller.
+  des::Task<ev::Message> escalate_fence(Container* c, std::uint64_t token);
   /// Append to the control trace and, in debug builds, assert the message
   /// is legal for the container's Fig. 3 protocol state.
   void trace_control(const std::string& container, const std::string& type,
                      bool to_cm, int delta);
+  /// Append a robustness marker (TIMEOUT/RETRY/ESCALATE) to the control
+  /// trace. Markers never touch the FSM.
+  void trace_marker(const std::string& container, const char* marker,
+                    int delta = 0);
   void log_event(const std::string& action, const std::string& container,
                  const std::string& reason, int delta,
                  ProtocolReport report);

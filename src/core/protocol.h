@@ -26,6 +26,23 @@ inline constexpr const char* kMsgReplicaConfig = "REPLICA_CONFIG";
 inline constexpr const char* kMsgEndpointUpdate = "ENDPOINT_UPDATE";
 inline constexpr const char* kMsgMetric = "METRIC";
 inline constexpr const char* kMsgEnableHashes = "ENABLE_HASHES";
+/// CM -> GM liveness probe (monitoring class); a failed send is how a
+/// container detects a dead global manager and triggers failover.
+inline constexpr const char* kMsgHeartbeat = "HEARTBEAT";
+
+// Robustness markers in the control trace (docs/ROBUSTNESS.md). They are
+// annotations, not protocol messages: they never advance the Fig. 3 FSM.
+// The lint trace checker understands them (and rule IOC105 demands that a
+// TIMEOUT is followed by a RETRY or an ESCALATE for the same container).
+inline constexpr const char* kMarkTimeout = "TIMEOUT";
+inline constexpr const char* kMarkRetry = "RETRY";
+inline constexpr const char* kMarkEscalate = "ESCALATE";
+
+/// Synthetic reply the GM returns from a control round that ended in the
+/// container being fenced (retries exhausted / unreachable). Distinct from
+/// the bus-level ERROR/* types: the pool has already been repaired, so the
+/// caller must NOT reclaim the nodes it granted for the round.
+inline constexpr const char* kErrFenced = "ERROR/fenced";
 
 /// Where the time of a management operation went. Fig. 4 reports increase
 /// cost with aprun factored out and shows metadata exchange dominating;

@@ -50,6 +50,11 @@ bool cm_message_is_stateless(const std::string& message) {
          message == kMsgEndpointUpdate;
 }
 
+bool cm_message_is_marker(const std::string& message) {
+  return message == kMarkTimeout || message == kMarkRetry ||
+         message == kMarkEscalate;
+}
+
 bool ProtocolFsm::advance(const std::string& message) {
   if (cm_message_is_stateless(message)) return true;
   for (const auto& t : cm_transitions()) {

@@ -38,12 +38,23 @@ const std::vector<CmTransition>& cm_transitions();
 /// chatter between replicas); they do not move the state machine.
 bool cm_message_is_stateless(const std::string& message);
 
+/// Robustness markers (protocol.h kMark*): trace annotations recorded by
+/// the GM's retry/escalation machinery. Not messages; never advance the
+/// FSM. The lint trace checker skips them when replaying (except that an
+/// ESCALATE resets the container to offline and settles its node count).
+bool cm_message_is_marker(const std::string& message);
+
 /// One container manager's protocol state, advanced message by message.
 class ProtocolFsm {
  public:
   explicit ProtocolFsm(CmState initial = CmState::kIdle) : state_(initial) {}
 
   CmState state() const { return state_; }
+
+  /// Force the state, bypassing the transition table. Only the escalation
+  /// path uses this: fencing a container ends whatever conversation was in
+  /// flight and leaves the manager offline by fiat, not by protocol.
+  void reset(CmState s) { state_ = s; }
 
   /// Apply one message. Returns true and moves the state when the message
   /// is legal here (stateless messages are always legal and keep the

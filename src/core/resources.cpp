@@ -73,6 +73,37 @@ void ResourcePool::reclaim(const std::string& owner,
   transfer(owner, "", nodes);
 }
 
+std::vector<net::NodeId> ResourcePool::reclaim_all(const std::string& owner) {
+  std::vector<net::NodeId> out = nodes_of(owner);
+  for (net::NodeId n : out) owner_[n] = "";
+  return out;
+}
+
+std::pair<std::size_t, std::size_t> ResourcePool::reconcile(
+    const std::string& owner, const std::vector<net::NodeId>& actual) {
+  std::size_t reclaimed = 0;
+  std::size_t claimed = 0;
+  // Ledger credits `owner` does not actually hold -> back to the spare set.
+  for (auto& [node, o] : owner_) {
+    if (o == owner &&
+        std::find(actual.begin(), actual.end(), node) == actual.end()) {
+      o = "";
+      ++reclaimed;
+    }
+  }
+  // Nodes actually held that the ledger lost to the spare set. A node the
+  // ledger assigns to a *different* owner is left alone: that would be a
+  // double-ownership bug reconciliation must surface, not paper over.
+  for (net::NodeId n : actual) {
+    auto it = owner_.find(n);
+    if (it != owner_.end() && it->second.empty()) {
+      it->second = owner;
+      ++claimed;
+    }
+  }
+  return {reclaimed, claimed};
+}
+
 void ResourcePool::transfer(const std::string& from, const std::string& to,
                             const std::vector<net::NodeId>& nodes) {
   // Validate everything before mutating anything, so a bad call cannot leave

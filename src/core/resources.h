@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/cluster.h"
@@ -37,10 +38,23 @@ class ResourcePool {
   /// one of them.
   void reclaim(const std::string& owner,
                const std::vector<net::NodeId>& nodes);
+  /// Return everything `owner` holds to the spare set, whatever that is —
+  /// the fencing path, where the owner can no longer say what it owns.
+  /// Returns the reclaimed nodes (possibly none).
+  std::vector<net::NodeId> reclaim_all(const std::string& owner);
   /// Move nodes directly between owners (a trade). Throws on ownership
   /// mismatch.
   void transfer(const std::string& from, const std::string& to,
                 const std::vector<net::NodeId>& nodes);
+  /// Re-sync the ledger with `owner`'s ground truth (`actual`, the node
+  /// list the container really holds): ledger entries for `owner` missing
+  /// from `actual` return to the spare set, and spare nodes present in
+  /// `actual` are re-credited. The GM-failover path uses this — a manager
+  /// crash mid-round can strand a resize the CM applied but the DONE never
+  /// reported. Nodes the ledger assigns to a different owner are left
+  /// untouched. Returns {reclaimed, claimed}.
+  std::pair<std::size_t, std::size_t> reconcile(
+      const std::string& owner, const std::vector<net::NodeId>& actual);
 
   /// True iff every node has exactly one owner entry (the map structure
   /// enforces this) and the per-owner counts add up to the pool size.

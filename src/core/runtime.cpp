@@ -17,6 +17,10 @@ StagedPipeline::StagedPipeline(PipelineSpec spec, Options opt)
   batch_ = std::make_unique<net::BatchScheduler>(*cluster_,
                                                  util::Rng(opt_.seed));
   bus_ = std::make_unique<ev::Bus>(*net_);
+  if (opt_.faults_enabled) {
+    injector_ = std::make_unique<fault::Injector>(*bus_, opt_.faults);
+    injector_->set_trace(opt_.trace);
+  }
   fs_ = std::make_unique<sio::Filesystem>(sim_);
   cost_ = sp::CostModel(opt_.cost);
 
@@ -40,6 +44,22 @@ StagedPipeline::StagedPipeline(PipelineSpec spec, Options opt)
   env.pipeline = &spec_;
   env.trace = opt_.trace;
   env.stream_config = scfg;
+  env.heartbeat_interval = opt_.heartbeat_interval;
+  env.on_gm_unreachable = [this] {
+    if (!opt_.auto_failover || tearing_down_) return;
+    // Detection is edge-triggered but reports can pile up: heartbeats sent
+    // before the standby took over still bounce afterwards. One promotion
+    // per heartbeat interval is enough; and while the GM's node itself is
+    // down, a replacement on the same node would be equally unreachable.
+    if (injector_ != nullptr && injector_->node_down(1)) return;
+    if (auto_failovers_ > 0 &&
+        sim_.now() < last_failover_ + opt_.heartbeat_interval) {
+      return;
+    }
+    ++auto_failovers_;
+    last_failover_ = sim_.now();
+    failover_gm();
+  };
   env.upstream_width = [this](const std::string& upstream) -> std::uint32_t {
     if (upstream.empty()) {
       // Simulation-side DataTap writers: one I/O aggregator per 64 ranks.
@@ -102,6 +122,7 @@ StagedPipeline::StagedPipeline(PipelineSpec spec, Options opt)
 }
 
 StagedPipeline::~StagedPipeline() {
+  tearing_down_ = true;  // heartbeat bounces during the drain are expected
   // Cooperative teardown: the manager/monitor/replica loops block on
   // mailboxes and streams, and a process abandoned while suspended leaks
   // its coroutine frame (see des/process.h). Close everything they wait on
@@ -145,6 +166,9 @@ des::Process StagedPipeline::completion_watch() {
   }
   all_done_ = true;
   gm_->stop();
+  // Heartbeats exist to detect a dead GM while work is in flight; once the
+  // pipeline has drained they only keep the event loop alive forever.
+  for (const auto& c : containers_) c->stop_heartbeats();
 }
 
 des::SimTime StagedPipeline::run() {
@@ -173,6 +197,18 @@ GlobalManager& StagedPipeline::failover_gm() {
   gm_->fail();
   std::vector<Container*> ptrs;
   for (const auto& c : containers_) ptrs.push_back(c.get());
+  // A crash can strand a half-completed control round: the CM applied a
+  // resize but the DONE died with the manager, so the old ledger granted or
+  // reclaimed nodes the container never saw (or vice versa). The standby
+  // must not inherit that skew — re-sync the ledger against each
+  // container's actual node list before it starts managing.
+  for (Container* c : ptrs) {
+    const auto [reclaimed, claimed] = pool_->reconcile(c->name(), c->nodes());
+    if (reclaimed + claimed > 0) {
+      IOC_WARN << "failover: ledger reconciled for " << c->name() << " (-"
+               << reclaimed << " stale, +" << claimed << " unrecorded)";
+    }
+  }
   // The standby takes over: fresh endpoints, containers re-pointed, soft
   // state (monitoring windows) rebuilt from the ongoing sample stream. The
   // failed manager is retired, not destroyed: its policy loop may still be

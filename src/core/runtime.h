@@ -17,6 +17,7 @@
 #include "des/simulator.h"
 #include "dt/stream.h"
 #include "ev/bus.h"
+#include "fault/injector.h"
 #include "md/workload.h"
 #include "net/cluster.h"
 #include "net/network.h"
@@ -46,6 +47,17 @@ class StagedPipeline {
     /// outlive the pipeline). Export with trace::to_chrome_json or inspect
     /// with tools/ioc_trace — see docs/OBSERVABILITY.md.
     trace::TraceSink* trace = nullptr;
+    /// Deterministic fault injection for the whole run (chaos testing; see
+    /// docs/ROBUSTNESS.md). Off by default. Crash/partition schedules can
+    /// be added afterwards through injector().
+    bool faults_enabled = false;
+    fault::FaultConfig faults;
+    /// CM -> GM heartbeat cadence; 0 disables. Heartbeats are how a live
+    /// container notices a dead global manager.
+    des::SimTime heartbeat_interval = 0;
+    /// Promote a standby GM automatically when heartbeats detect a crash
+    /// (requires heartbeat_interval > 0).
+    bool auto_failover = false;
   };
 
   StagedPipeline(PipelineSpec spec, Options opt);
@@ -78,6 +90,11 @@ class StagedPipeline {
   dt::Stream& source_stream() { return *source_stream_; }
   net::Network& network() { return *net_; }
   des::Simulator& sim() { return sim_; }
+  ev::Bus& bus() { return *bus_; }
+  /// The fault injector, or nullptr when Options::faults_enabled is false.
+  fault::Injector* injector() { return injector_.get(); }
+  /// GM promotions performed by the heartbeat-driven auto-failover path.
+  std::size_t auto_failovers() const { return auto_failovers_; }
   /// Virtual seconds the simulation spent blocked on a full staging buffer.
   double sim_blocked_seconds() const;
   /// Timesteps emitted by the source so far.
@@ -94,6 +111,7 @@ class StagedPipeline {
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<net::BatchScheduler> batch_;
   std::unique_ptr<ev::Bus> bus_;
+  std::unique_ptr<fault::Injector> injector_;
   std::unique_ptr<sio::Filesystem> fs_;
   sp::CostModel cost_;
   Container::Env env_;
@@ -109,6 +127,11 @@ class StagedPipeline {
   std::uint64_t steps_emitted_ = 0;
   bool all_done_ = false;
   bool started_ = false;
+  bool tearing_down_ = false;
+  std::size_t auto_failovers_ = 0;
+  /// Last promotion time; failure reports already in flight when the
+  /// standby took over must not trigger a second promotion.
+  des::SimTime last_failover_ = 0;
 };
 
 }  // namespace ioc::core

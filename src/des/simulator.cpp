@@ -40,6 +40,16 @@ void Simulator::call_at(SimTime t, std::function<void()> fn) {
   queue_.push(Entry{t, next_seq_++, nullptr, std::move(fn)});
 }
 
+Timer Simulator::timer_at(SimTime t, std::function<void()> fn) {
+  auto armed = std::make_shared<bool>(true);
+  call_at(t, [armed, fn = std::move(fn)] {
+    if (!*armed) return;  // cancelled before firing
+    *armed = false;
+    fn();
+  });
+  return Timer(std::move(armed));
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   Entry e = queue_.top();

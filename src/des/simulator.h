@@ -10,12 +10,38 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "des/time.h"
 
 namespace ioc::des {
+
+/// Handle to a scheduled callback that can be revoked before it fires.
+/// Timers back every timeout in the control plane: a protocol round arms
+/// one, and cancels it the moment the awaited reply arrives, so a stale
+/// timeout can never terminate a later round (the D2T gather bug).
+/// Default-constructed and moved-from handles are inert; cancel() after the
+/// callback ran is a no-op.
+class Timer {
+ public:
+  Timer() = default;
+
+  /// Disarm: the callback will not run. Safe to call repeatedly, after the
+  /// timer fired, or on an empty handle.
+  void cancel() {
+    if (armed_) *armed_ = false;
+    armed_.reset();
+  }
+  /// True while the callback is still pending (not fired, not cancelled).
+  bool armed() const { return armed_ != nullptr && *armed_; }
+
+ private:
+  friend class Simulator;
+  explicit Timer(std::shared_ptr<bool> armed) : armed_(std::move(armed)) {}
+  std::shared_ptr<bool> armed_;
+};
 
 class Simulator {
  public:
@@ -39,6 +65,12 @@ class Simulator {
   void call_at(SimTime t, std::function<void()> fn);
   void call_in(SimTime d, std::function<void()> fn) {
     call_at(now_ + d, fn);
+  }
+
+  /// Like call_at, but returns a handle that cancels the callback.
+  Timer timer_at(SimTime t, std::function<void()> fn);
+  Timer timer_in(SimTime d, std::function<void()> fn) {
+    return timer_at(now_ + d, std::move(fn));
   }
 
   /// Run until the event queue is empty. Returns the final clock value.

@@ -45,6 +45,18 @@ Endpoint* Bus::find_by_name(const std::string& name) {
   return nullptr;
 }
 
+std::vector<EndpointId> Bus::endpoints_on(net::NodeId node) const {
+  std::vector<EndpointId> out;
+  for (const auto& [id, ep] : endpoints_) {
+    if (ep->node() == node) out.push_back(id);
+  }
+  return out;
+}
+
+void Bus::close_node(net::NodeId node) {
+  for (EndpointId id : endpoints_on(node)) close(id);
+}
+
 des::Task<bool> Bus::post(EndpointId from, EndpointId to, Message m,
                           TrafficClass cls) {
   Endpoint* src = find(from);
@@ -60,10 +72,30 @@ des::Task<bool> Bus::post(EndpointId from, EndpointId to, Message m,
   m.to = to;
   const net::NodeId src_node = src->node();
   const net::NodeId dst_node = dst->node();
+  FaultHook::Decision fault;
+  if (fault_ != nullptr) fault = fault_->on_post(src_node, dst_node, m, cls);
   co_await network_->transfer(src_node, dst_node, m.size_bytes);
+  if (fault.drop) {
+    // A lossy-transport drop: the sender already paid the send cost and
+    // believes the message left; nothing arrives. Recovery is the
+    // receiver-side timeout + retry of whoever awaits the reply.
+    ++injected_drops_;
+    co_return true;
+  }
+  if (fault.extra_delay > 0) {
+    co_await des::delay(sim(), fault.extra_delay);
+  }
   // The destination may have closed while the message was in flight.
   Endpoint* live = find(to);
-  if (live == nullptr || !live->mailbox().try_put(std::move(m))) {
+  if (live == nullptr) {
+    ++dropped_;
+    co_return false;
+  }
+  if (fault.duplicate) {
+    Message copy = m;
+    live->mailbox().try_put(std::move(copy));
+  }
+  if (!live->mailbox().try_put(std::move(m))) {
     ++dropped_;
     co_return false;
   }
@@ -71,27 +103,43 @@ des::Task<bool> Bus::post(EndpointId from, EndpointId to, Message m,
 }
 
 des::Task<Message> Bus::request(EndpointId from, EndpointId to, Message m,
-                                TrafficClass cls) {
+                                TrafficClass cls, des::SimTime timeout) {
   if (m.token == 0) m.token = fresh_token();
   const std::uint64_t token = m.token;
   bool sent = co_await post(from, to, std::move(m), cls);
   if (!sent) {
     Message err;
-    err.type = "ERROR/unreachable";
+    err.type = kErrUnreachable;
     err.token = token;
     co_return err;
   }
-  Endpoint* self = find(from);
-  while (self != nullptr) {
+  des::Timer timer;
+  if (timeout > 0) {
+    timer = sim().timer_in(timeout, [this, from, token] {
+      if (Endpoint* ep = find(from)) {
+        Message t;
+        t.type = kErrTimeout;
+        t.token = token;
+        ep->mailbox().try_put(std::move(t));
+      }
+    });
+  }
+  // Re-resolve the endpoint each round: it may be closed (even destroyed)
+  // while we are suspended, e.g. by an injected node crash.
+  while (Endpoint* self = find(from)) {
     auto reply = co_await self->mailbox().get();
     if (!reply.has_value()) break;  // endpoint closed underneath us
-    if (reply->token == token) co_return std::move(*reply);
+    if (reply->token == token) {
+      timer.cancel();
+      co_return std::move(*reply);
+    }
     IOC_WARN << "bus: endpoint " << from
              << " discarding out-of-band message " << reply->type
              << " while awaiting token " << token;
   }
+  timer.cancel();
   Message err;
-  err.type = "ERROR/closed";
+  err.type = kErrClosed;
   err.token = token;
   co_return err;
 }

@@ -35,6 +35,29 @@ struct TrafficStats {
   std::uint64_t bytes = 0;
 };
 
+// Synthetic reply types Bus::request resolves to when no real reply can
+// arrive. Callers distinguish them by exact type string.
+inline constexpr const char* kErrUnreachable = "ERROR/unreachable";
+inline constexpr const char* kErrClosed = "ERROR/closed";
+inline constexpr const char* kErrTimeout = "ERROR/timeout";
+
+/// Interception point for deterministic fault injection (src/fault). The
+/// bus consults the installed hook once per delivery, after the transfer
+/// cost has been paid — a dropped message still looks like a successful
+/// send at the source, exactly as on a lossy fabric. The hook must be
+/// deterministic given the event order (seeded RNG, no wall-clock).
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  struct Decision {
+    bool drop = false;           ///< deliver nothing
+    bool duplicate = false;      ///< deliver a second copy
+    des::SimTime extra_delay = 0;  ///< added before delivery
+  };
+  virtual Decision on_post(net::NodeId src, net::NodeId dst,
+                           const Message& m, TrafficClass cls) = 0;
+};
+
 class Endpoint {
  public:
   Endpoint(des::Simulator& sim, EndpointId id, net::NodeId node,
@@ -70,6 +93,11 @@ class Bus {
   Endpoint* find(EndpointId id);
   /// First live endpoint with the given name, or nullptr.
   Endpoint* find_by_name(const std::string& name);
+  /// Every live endpoint currently placed on `node`.
+  std::vector<EndpointId> endpoints_on(net::NodeId node) const;
+  /// Close every endpoint on `node` — the bus-level effect of a node crash.
+  /// Loops blocked on those mailboxes observe end-of-stream and finish.
+  void close_node(net::NodeId node);
 
   /// Deliver a message: pays the network cost from the sender endpoint's
   /// node to the receiver's, then enqueues into the receiver's mailbox.
@@ -79,15 +107,26 @@ class Bus {
 
   /// Send `m` to `to` and suspend until a reply carrying the same token
   /// arrives in `from`'s mailbox. The caller owns the mailbox: no other
-  /// receiver may consume from it concurrently.
+  /// receiver may consume from it concurrently. When `timeout` is positive
+  /// and no reply arrives within it, resolves to a kErrTimeout message
+  /// instead of blocking forever; the timeout timer is cancelled the moment
+  /// a real reply lands, so it can never leak into a later exchange.
   des::Task<Message> request(EndpointId from, EndpointId to, Message m,
-                             TrafficClass cls = TrafficClass::kControl);
+                             TrafficClass cls = TrafficClass::kControl,
+                             des::SimTime timeout = 0);
 
   std::uint64_t fresh_token() { return next_token_++; }
+
+  /// Install (or clear, with nullptr) the fault-injection hook. The hook
+  /// must outlive its installation window.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  FaultHook* fault_hook() const { return fault_; }
 
   const TrafficStats& stats(TrafficClass c) const;
   void reset_stats();
   std::uint64_t dropped() const { return dropped_; }
+  /// Messages the fault hook silently dropped (not counted in dropped()).
+  std::uint64_t injected_drops() const { return injected_drops_; }
 
  private:
   net::Network* network_;
@@ -96,6 +135,8 @@ class Bus {
   std::uint64_t next_token_ = 1;
   TrafficStats stats_[4];
   std::uint64_t dropped_ = 0;
+  std::uint64_t injected_drops_ = 0;
+  FaultHook* fault_ = nullptr;
 };
 
 }  // namespace ioc::ev

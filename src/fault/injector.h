@@ -1,0 +1,118 @@
+// Deterministic fault injection for the control plane. The Injector
+// installs itself as the bus's FaultHook and, from one seeded RNG, decides
+// per delivery whether a message is dropped, duplicated, or delayed — per
+// traffic class, so a chaos run can batter the control rounds while the
+// bulk data path stays clean (or vice versa). On top of the per-message
+// faults it executes two kinds of scheduled events on the virtual clock:
+//
+//  * link partitions: all traffic between two node sets is dropped inside a
+//    time window (messages in both directions, all classes);
+//  * node crash/restart: at the crash time every endpoint on the node is
+//    closed, which ends every coroutine loop blocked on those mailboxes
+//    (the des/queue.h close semantics); until the restart time any traffic
+//    touching the node is dropped. Restart reopens nothing by itself —
+//    recovery is the consumers' job (retry, escalation, GM failover).
+//
+// Every decision is a pure function of the seed and the deterministic DES
+// event order, so a chaos run replays bit-for-bit: same seed, same faults,
+// same trace. Injected faults optionally emit `fault.*` spans into a
+// TraceSink so `ioc_trace summarize` shows the chaos timeline alongside
+// the retries and escalations it provoked.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "des/simulator.h"
+#include "ev/bus.h"
+#include "net/cluster.h"
+#include "trace/sink.h"
+#include "util/rng.h"
+
+namespace ioc::fault {
+
+/// Per-traffic-class message fault rates. All default to "no faults".
+struct ClassFaults {
+  double drop_rate = 0;        ///< P(message silently lost)
+  double duplicate_rate = 0;   ///< P(message delivered twice)
+  double delay_rate = 0;       ///< P(extra delivery delay)
+  des::SimTime delay_min = 0;  ///< extra delay drawn uniformly from
+  des::SimTime delay_max = 0;  ///< [delay_min, delay_max]
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  ClassFaults control;
+  ClassFaults metadata;
+  ClassFaults monitoring;
+  ClassFaults data;
+
+  const ClassFaults& for_class(ev::TrafficClass c) const;
+  /// Convenience: the same faults on every class.
+  static FaultConfig uniform(std::uint64_t seed, ClassFaults f);
+};
+
+class Injector : public ev::FaultHook {
+ public:
+  /// Installs itself as `bus`'s fault hook; the destructor uninstalls it
+  /// (if still installed) and cancels pending crash/restart timers.
+  Injector(ev::Bus& bus, FaultConfig cfg);
+  ~Injector() override;
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  // --- scheduled faults ---------------------------------------------------
+  /// Drop all traffic between node sets `a` and `b` in [from, until).
+  void partition(std::vector<net::NodeId> a, std::vector<net::NodeId> b,
+                 des::SimTime from, des::SimTime until);
+  /// Crash `node` at `at`: close every endpoint on it and drop its traffic.
+  /// If `restart_at` > `at`, the node rejoins the fabric then (endpoints are
+  /// not resurrected; new ones may be opened on it).
+  void schedule_crash(net::NodeId node, des::SimTime at,
+                      des::SimTime restart_at = 0);
+  bool node_down(net::NodeId node) const { return down_.count(node) > 0; }
+
+  /// Invoked on every crash (`up == false`) and restart (`up == true`).
+  void set_crash_handler(std::function<void(net::NodeId, bool up)> fn) {
+    crash_handler_ = std::move(fn);
+  }
+  /// When set, every injected fault emits a `fault.*` span here.
+  void set_trace(trace::TraceSink* t) { trace_ = t; }
+
+  struct Stats {
+    std::uint64_t dropped = 0;          ///< random per-message drops
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t partition_drops = 0;  ///< drops due to an active partition
+    std::uint64_t crash_drops = 0;      ///< drops due to a down endpoint node
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  Decision on_post(net::NodeId src, net::NodeId dst, const ev::Message& m,
+                   ev::TrafficClass cls) override;
+
+ private:
+  struct Partition {
+    std::set<net::NodeId> a, b;
+    des::SimTime from = 0, until = 0;
+  };
+
+  bool partitioned(net::NodeId src, net::NodeId dst) const;
+  void mark(const char* what, const char* cls_name);
+
+  ev::Bus* bus_;
+  FaultConfig cfg_;
+  util::Rng rng_;
+  std::vector<Partition> partitions_;
+  std::set<net::NodeId> down_;
+  std::vector<des::Timer> timers_;
+  std::function<void(net::NodeId, bool)> crash_handler_;
+  trace::TraceSink* trace_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace ioc::fault

@@ -374,6 +374,9 @@ const std::vector<Rule>& rules() {
       {{"IOC104", Severity::kWarning, "",
         "trace references a container the spec does not declare"},
        nullptr},
+      {{"IOC105", Severity::kError, "",
+        "control round timed out with no matching RETRY or ESCALATE"},
+       nullptr},
       // Parser finding (emitted by the ioc_lint CLI on unreadable input).
       {{"IOC900", Severity::kError, "", "config file cannot be parsed"},
        nullptr},

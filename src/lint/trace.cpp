@@ -30,6 +30,9 @@ LintResult check_trace(const core::PipelineSpec& spec,
 
   std::size_t index = 0;
   std::set<std::string> unknown_reported;
+  // Containers with a TIMEOUT marker not yet answered by a RETRY or an
+  // ESCALATE, remembered with the event index of the dangling TIMEOUT.
+  std::map<std::string, std::size_t> dangling_timeout;
   for (const auto& ev : trace) {
     ++index;
     auto it = fsm.find(ev.container);
@@ -42,6 +45,23 @@ LintResult check_trace(const core::PipelineSpec& spec,
       continue;
     }
     ProtocolFsm& m = it->second;
+    if (core::cm_message_is_marker(ev.type)) {
+      // Robustness markers annotate the trace; they are not protocol
+      // messages and never advance the FSM. An ESCALATE settles the fenced
+      // container: whatever it owned (including a grant still in flight,
+      // which this ledger may not have seen) went back to the spare pool.
+      if (ev.type == core::kMarkTimeout) {
+        dangling_timeout.emplace(ev.container, index);
+      } else {
+        dangling_timeout.erase(ev.container);
+        if (ev.type == core::kMarkEscalate) {
+          total -= width[ev.container];
+          width[ev.container] = 0;
+          m.reset(CmState::kOffline);
+        }
+      }
+      continue;
+    }
     const CmState before = m.state();
     if (!m.advance(ev.type)) {
       std::ostringstream msg;
@@ -78,6 +98,11 @@ LintResult check_trace(const core::PipelineSpec& spec,
             static_cast<int>(trace.size()),
             std::string("trace ends with the container manager in state ") +
                 core::cm_state_name(s) + " — a request never got its reply");
+  }
+  for (const auto& [name, at] : dangling_timeout) {
+    out.add("IOC105", Severity::kError, name, "", static_cast<int>(at),
+            "control round timed out with no matching RETRY or ESCALATE — "
+            "the manager gave up on the round without recovering it");
   }
   out.sort();
   return out;

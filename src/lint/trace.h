@@ -14,12 +14,17 @@
 
 namespace ioc::lint {
 
-/// Validate `trace` against `spec`. Emits:
+/// Validate `trace` against `spec`. Robustness markers (TIMEOUT / RETRY /
+/// ESCALATE, see docs/ROBUSTNESS.md) are understood: they skip the FSM, an
+/// ESCALATE settles the fenced container's width to zero and resets it to
+/// offline, and a TIMEOUT must be answered by a RETRY or an ESCALATE.
+/// Emits:
 ///   IOC101  message illegal in the container's current protocol state
 ///   IOC102  trace ends with a request still awaiting its DONE
 ///   IOC103  node-count conservation violated (a container below zero
 ///           width, or total widths above the staging allocation)
 ///   IOC104  trace references a container the spec does not declare
+///   IOC105  control round timed out with no matching RETRY or ESCALATE
 LintResult check_trace(const core::PipelineSpec& spec,
                        const std::vector<core::ControlTraceEvent>& trace);
 

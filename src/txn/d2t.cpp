@@ -1,5 +1,7 @@
 #include "txn/d2t.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace ioc::txn {
@@ -17,6 +19,16 @@ bool is_decision(const std::string& type) {
 }
 
 }  // namespace
+
+bool TxnHarness::reply_matches(const std::string& sent,
+                               const std::string& reply) {
+  if (sent == kBeginMsg) return reply == "TXN_BEGUN";
+  if (sent == kVoteMsg) {
+    return reply == "TXN_VOTE_YES" || reply == "TXN_VOTE_NO";
+  }
+  if (is_decision(sent)) return reply == "TXN_FINAL";
+  return false;
+}
 
 TxnHarness::TxnHarness(ev::Bus& bus, TxnConfig cfg) : bus_(&bus), cfg_(cfg) {
   auto& cluster = bus.network().cluster();
@@ -62,8 +74,12 @@ void TxnHarness::set_operation(std::size_t index, Operation* op) {
 }
 
 des::Process TxnHarness::member_loop(std::size_t index) {
-  ev::Endpoint* self = bus_->find(members_[index].ep);
-  while (self != nullptr) {
+  const ev::EndpointId my_ep = members_[index].ep;
+  while (true) {
+    // Re-resolve every iteration: a crash may destroy the endpoint while we
+    // were suspended in a post below.
+    ev::Endpoint* self = bus_->find(my_ep);
+    if (self == nullptr) break;
     auto msg = co_await self->mailbox().get();
     if (!msg.has_value()) break;
     Member& me = members_[index];
@@ -71,80 +87,171 @@ des::Process TxnHarness::member_loop(std::size_t index) {
     if (msg->type == kBeginMsg) {
       if (me.dies_at <= Phase::kBegin) me.dead = true;
       if (me.dead) continue;
+      // Begin changes no state, so a retried/duplicated begin just elicits
+      // another (idempotent) ack.
       ev::Message reply;
       reply.type = "TXN_BEGUN";
       reply.token = msg->token;
-      co_await bus_->post(me.ep, msg->from, std::move(reply));
+      co_await bus_->post(my_ep, msg->from, std::move(reply));
     } else if (msg->type == kVoteMsg) {
       if (me.dies_at <= Phase::kVote) me.dead = true;
       if (me.dead) continue;
-      bool yes = true;
-      if (me.op != nullptr) {
-        yes = me.op->prepare();
-        me.prepared = yes;
+      if (me.decided_token / 10 >= msg->token / 10) {
+        // A delayed vote request for a transaction that already decided
+        // (tokens encode txn*10 + phase): preparing now would reserve state
+        // nobody will ever commit or roll back. Vote no without preparing.
+        ev::Message reply;
+        reply.type = "TXN_VOTE_NO";
+        reply.token = msg->token;
+        co_await bus_->post(my_ep, msg->from, std::move(reply));
+        continue;
+      }
+      bool yes;
+      if (me.voted_token == msg->token) {
+        // Duplicate/retried vote request: replay the recorded vote instead
+        // of running prepare() a second time (at-most-once).
+        yes = me.voted_yes;
+      } else {
+        yes = true;
+        if (me.op != nullptr) {
+          yes = me.op->prepare();
+          me.prepared = yes;
+        }
+        me.voted_token = msg->token;
+        me.voted_yes = yes;
       }
       ev::Message reply;
       reply.type = yes ? "TXN_VOTE_YES" : "TXN_VOTE_NO";
       reply.token = msg->token;
-      co_await bus_->post(me.ep, msg->from, std::move(reply));
+      co_await bus_->post(my_ep, msg->from, std::move(reply));
     } else if (is_decision(msg->type)) {
       if (me.dies_at <= Phase::kDecide) me.dead = true;
       if (me.dead) continue;
-      if (me.op != nullptr) {
-        if (msg->type == kCommitMsg) {
-          me.op->commit();
-        } else if (me.prepared) {
-          me.op->abort();
-        }
+      if (me.voted_token / 10 != msg->token / 10) {
+        // Decision for a transaction this member never voted in — a delayed
+        // duplicate from an earlier trade, or the member missed the vote
+        // round entirely. Applying it would commit/abort the WRONG trade's
+        // reservation; ack without touching state (the coordinator's
+        // recovery pass applies the logged decision where needed).
+        ev::Message reply;
+        reply.type = "TXN_FINAL";
+        reply.token = msg->token;
+        co_await bus_->post(my_ep, msg->from, std::move(reply));
+        continue;
       }
-      me.prepared = false;
-      me.finished = true;
+      if (me.decided_token != msg->token) {
+        // First sight of this decision: apply it. Duplicates only re-ack.
+        if (me.op != nullptr) {
+          if (msg->type == kCommitMsg) {
+            me.op->commit();
+          } else if (me.prepared) {
+            me.op->abort();
+          }
+        }
+        me.prepared = false;
+        me.finished = true;
+        me.decided_token = msg->token;
+      }
       ev::Message reply;
       reply.type = "TXN_FINAL";
       reply.token = msg->token;
-      co_await bus_->post(me.ep, msg->from, std::move(reply));
+      co_await bus_->post(my_ep, msg->from, std::move(reply));
     }
   }
 }
 
-des::Task<std::vector<ev::Message>> TxnHarness::fan_gather(
+des::Task<TxnHarness::GatherOutcome> TxnHarness::fan_gather(
     ev::EndpointId from, const std::vector<std::size_t>& members,
     const std::string& type, std::uint64_t token) {
-  std::vector<ev::Message> replies;
-  if (members.empty()) co_return replies;
-  for (std::size_t idx : members) {
-    ev::Message m;
-    m.type = type;
-    m.token = token;
-    co_await bus_->post(from, members_[idx].ep, std::move(m));
+  GatherOutcome out;
+  if (members.empty()) {
+    out.complete = true;
+    co_return out;
   }
-  ev::Endpoint* self = bus_->find(from);
-  if (self == nullptr) co_return replies;
   auto& sim = bus_->sim();
-  sim.call_at(sim.now() + cfg_.gather_timeout, [this, from, token] {
-    ev::Endpoint* ep = bus_->find(from);
-    if (ep != nullptr) {
-      ev::Message t;
-      t.type = kTimeoutMsg;
-      t.token = token;
-      ep->mailbox().try_put(std::move(t));
+  std::vector<char> answered(members.size(), 0);
+  std::size_t pending = members.size();
+
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    // (Re)send the round message to everyone still unanswered. The token is
+    // the round's token on every attempt, so the member-side dedupe caches
+    // recognize a retry and the gather below can never credit a reply from
+    // a different attempt of a different round.
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if (answered[j]) continue;
+      ev::Message m;
+      m.type = type;
+      m.token = token;
+      co_await bus_->post(from, members_[members[j]].ep, std::move(m));
     }
-  });
-  while (replies.size() < members.size()) {
-    auto msg = co_await self->mailbox().get();
-    if (!msg.has_value()) break;
-    if (msg->token != token) continue;  // stale round traffic
-    if (msg->type == kTimeoutMsg) break;
-    replies.push_back(std::move(*msg));
+    // Arm this attempt's deadline. The Timer handle is cancelled the moment
+    // the gather completes, so a finished round can never receive a stale
+    // timeout — the bug that used to make round N+1 end early.
+    des::Timer timer = sim.timer_in(cfg_.gather_timeout, [this, from, token] {
+      ev::Endpoint* ep = bus_->find(from);
+      if (ep != nullptr) {
+        ev::Message t;
+        t.type = kTimeoutMsg;
+        t.token = token;
+        ep->mailbox().try_put(std::move(t));
+      }
+    });
+    bool timed_out = false;
+    while (pending > 0) {
+      ev::Endpoint* self = bus_->find(from);
+      if (self == nullptr) {
+        timer.cancel();
+        co_return out;  // sub-coordinator endpoint crashed
+      }
+      auto msg = co_await self->mailbox().get();
+      if (!msg.has_value()) {
+        timer.cancel();
+        co_return out;
+      }
+      if (msg->token != token) continue;   // stale round traffic
+      if (msg->type == kTimeoutMsg) {
+        timed_out = true;
+        break;
+      }
+      if (!reply_matches(type, msg->type)) continue;
+      // Deduplicate per member: a duplicated delivery or a reply to both
+      // the original and a retry counts once.
+      bool fresh = false;
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        if (members_[members[j]].ep == msg->from) {
+          if (!answered[j]) {
+            answered[j] = 1;
+            --pending;
+            fresh = true;
+          }
+          break;
+        }
+      }
+      if (fresh) out.replies.push_back(std::move(*msg));
+    }
+    timer.cancel();
+    if (pending == 0) {
+      out.complete = true;
+      co_return out;
+    }
+    if (attempt == cfg_.max_retries) break;
+    ++out.retries;
+    des::SimTime backoff = cfg_.retry_backoff << attempt;
+    if (backoff > cfg_.retry_backoff_cap) backoff = cfg_.retry_backoff_cap;
+    (void)timed_out;  // pending > 0 here implies the deadline fired
+    if (trace::active(cfg_.trace)) {
+      cfg_.trace->span("retry", "txn", type, token, sim.now(), sim.now());
+    }
+    co_await des::delay(sim, backoff);
   }
-  co_return replies;
+  co_return out;
 }
 
 namespace {
 
 /// Runs one side's fan-out/gather concurrently with the other side's.
-des::Process side_round(des::Task<std::vector<ev::Message>> task,
-                        std::vector<ev::Message>* out) {
+des::Process side_round(des::Task<TxnHarness::GatherOutcome> task,
+                        TxnHarness::GatherOutcome* out) {
   *out = co_await std::move(task);
 }
 
@@ -156,20 +263,31 @@ des::Task<TxnResult> TxnHarness::run() {
   const des::SimTime start = sim.now();
   const std::uint64_t msg_base =
       bus_->stats(ev::TrafficClass::kControl).messages;
-  const std::uint64_t token = 1000 + ++txn_counter_;
+  // Each round draws its own token from a per-transaction block, so a late
+  // reply (or a stale timeout) from one round can never satisfy the next.
+  const std::uint64_t token_base = 1000 + 10 * ++txn_counter_;
 
+  TxnResult result;
   ev::Endpoint* coord_ep = bus_->find(coord_);
+  ev::Endpoint* wsub_ep = bus_->find(writer_side_.ep);
+  ev::Endpoint* rsub_ep = bus_->find(reader_side_.ep);
+  if (coord_ep == nullptr || wsub_ep == nullptr || rsub_ep == nullptr) {
+    // Coordinator overlay itself is gone; nothing was prepared, so an
+    // abort-with-escalation is both safe and honest.
+    result.escalated = true;
+    result.duration = sim.now() - start;
+    co_return result;
+  }
   const net::NodeId coord_node = coord_ep->node();
-  const net::NodeId wsub_node = bus_->find(writer_side_.ep)->node();
-  const net::NodeId rsub_node = bus_->find(reader_side_.ep)->node();
+  const net::NodeId wsub_node = wsub_ep->node();
+  const net::NodeId rsub_node = rsub_ep->node();
 
-  auto round = [&](const std::string& type)
-      -> des::Task<std::pair<std::vector<ev::Message>,
-                             std::vector<ev::Message>>> {
+  auto round = [&](const std::string& type, std::uint64_t token)
+      -> des::Task<std::pair<GatherOutcome, GatherOutcome>> {
     // Coordinator -> sub-coordinator hops (point-to-point, cheap).
     co_await net.transfer(coord_node, wsub_node, 256);
     co_await net.transfer(coord_node, rsub_node, 256);
-    std::vector<ev::Message> wr, rr;
+    GatherOutcome wr, rr;
     auto pw = spawn(sim, side_round(fan_gather(writer_side_.ep,
                                                writer_side_.members, type,
                                                token),
@@ -185,40 +303,59 @@ des::Task<TxnResult> TxnHarness::run() {
     co_await net.transfer(rsub_node, coord_node, 256);
     co_return std::make_pair(std::move(wr), std::move(rr));
   };
-
-  TxnResult result;
-  result.rounds = 3;
+  auto escalate = [&](const char* phase) {
+    result.escalated = true;
+    if (trace::active(cfg_.trace)) {
+      cfg_.trace->span("escalate", "txn", phase, token_base, sim.now(),
+                       sim.now());
+    }
+    IOC_WARN << "txn " << txn_counter_ << ": " << phase
+             << " round exhausted retries; aborting";
+  };
 
   // Round 1: begin.
-  auto [bw, br] = co_await round(kBeginMsg);
-  bool all_present = bw.size() == writer_side_.members.size() &&
-                     br.size() == reader_side_.members.size();
+  auto [bw, br] = co_await round(kBeginMsg, token_base + 0);
+  ++result.rounds;
+  result.retries += bw.retries + br.retries;
+  const bool all_present = bw.complete && br.complete;
+  if (!all_present) escalate("begin");
 
   // Round 2: vote (skipped when begin already failed).
   bool all_yes = all_present;
   if (all_present) {
-    auto [vw, vr] = co_await round(kVoteMsg);
-    auto count_yes = [](const std::vector<ev::Message>& v) {
+    auto [vw, vr] = co_await round(kVoteMsg, token_base + 1);
+    ++result.rounds;
+    result.retries += vw.retries + vr.retries;
+    if (!vw.complete || !vr.complete) escalate("vote");
+    auto count_yes = [](const GatherOutcome& g) {
       std::size_t n = 0;
-      for (const auto& m : v) {
+      for (const auto& m : g.replies) {
         if (m.type == "TXN_VOTE_YES") ++n;
       }
       return n;
     };
-    all_yes = count_yes(vw) == writer_side_.members.size() &&
+    // An unanswered member is a missing YES: the transaction aborts, which
+    // is the safe direction for 2PC.
+    all_yes = vw.complete && vr.complete &&
+              count_yes(vw) == writer_side_.members.size() &&
               count_yes(vr) == reader_side_.members.size();
-  } else {
-    result.rounds = 2;
   }
 
-  // Round 3: decide + finalize.
+  // Round 3: decide + finalize. Members that miss the decision here are
+  // covered by sub-coordinator recovery below.
   const bool commit = all_present && all_yes;
-  co_await round(commit ? kCommitMsg : kAbortMsg);
+  auto [dw, dr] = co_await round(commit ? kCommitMsg : kAbortMsg,
+                                 token_base + 2);
+  ++result.rounds;
+  result.retries += dw.retries + dr.retries;
 
-  // Sub-coordinator recovery: apply the logged decision for members that
-  // died after the decision was made.
+  // Sub-coordinator recovery: apply the logged decision on behalf of every
+  // member that did not apply it itself — injected deaths, members whose
+  // endpoint a crash destroyed, and members whose decision delivery was
+  // lost past the retries. Recording decided_token makes any late delivery
+  // of the real decision a recognized duplicate (re-ack, no second apply).
   for (auto& m : members_) {
-    if (m.dead && !m.finished) {
+    if (!m.finished) {
       if (m.op != nullptr) {
         if (commit) {
           m.op->commit();
@@ -228,13 +365,18 @@ des::Task<TxnResult> TxnHarness::run() {
       }
       m.prepared = false;
       m.finished = true;
+      m.decided_token = token_base + 2;
     }
   }
 
   result.outcome = commit ? Outcome::kCommitted : Outcome::kAborted;
   result.duration = sim.now() - start;
-  result.messages =
-      bus_->stats(ev::TrafficClass::kControl).messages - msg_base + 6;
+  // Control-plane cost: every bus message this transaction caused (fan-outs,
+  // replies, retries) plus the four coordinator<->sub-coordinator hops each
+  // executed round pays above — derived, not hardcoded.
+  result.messages = bus_->stats(ev::TrafficClass::kControl).messages -
+                    msg_base +
+                    4ull * static_cast<std::uint64_t>(result.rounds);
   // Reset per-transaction member state for reuse.
   for (auto& m : members_) m.finished = false;
   co_return result;

@@ -11,6 +11,14 @@
 // operations roll back). Failures after the decision are recovered by the
 // participant's sub-coordinator, which applies the logged decision on its
 // behalf — the standard coordinator-side recovery that keeps 2PC atomic.
+//
+// Message-loss model: every gather round carries its own token (so a stale
+// timeout or a late reply from round N can never be miscounted in round
+// N+1), filters replies on the exact type the round expects, deduplicates
+// per participant, and retries unanswered participants with capped
+// exponential backoff. A round that stays incomplete after the retries are
+// exhausted escalates: the transaction aborts cleanly (prepared operations
+// roll back, sub-coordinator recovery still applies a logged decision).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,7 @@
 #include "des/process.h"
 #include "des/time.h"
 #include "ev/bus.h"
+#include "trace/sink.h"
 
 namespace ioc::txn {
 
@@ -46,7 +55,14 @@ struct TxnConfig {
   std::size_t writers = 4;
   std::size_t readers = 2;
   des::SimTime gather_timeout = 2 * des::kSecond;
+  /// Resend attempts per gather round after the first send; each retry adds
+  /// a backoff of retry_backoff * 2^attempt, capped at retry_backoff_cap.
+  int max_retries = 3;
+  des::SimTime retry_backoff = 250 * des::kMillisecond;
+  des::SimTime retry_backoff_cap = 2 * des::kSecond;
   FailureSpec failure;
+  /// When set, every retry and escalation emits a span here.
+  trace::TraceSink* trace = nullptr;
 };
 
 struct TxnResult {
@@ -54,6 +70,8 @@ struct TxnResult {
   des::SimTime duration = 0;
   std::uint64_t messages = 0;  ///< control messages this transaction used
   int rounds = 0;
+  int retries = 0;      ///< gather resend rounds across all phases
+  bool escalated = false;  ///< a round exhausted its retries (forced abort)
 };
 
 /// Builds the participant/sub-coordinator overlay on a cluster and executes
@@ -77,6 +95,12 @@ class TxnHarness {
   /// Execute one transaction across all participants.
   des::Task<TxnResult> run();
 
+  struct GatherOutcome {
+    std::vector<ev::Message> replies;  ///< one per participant, deduplicated
+    int retries = 0;
+    bool complete = false;  ///< every participant answered
+  };
+
  private:
   struct Member {
     ev::EndpointId ep = ev::kInvalidEndpoint;
@@ -85,6 +109,11 @@ class TxnHarness {
     bool dead = false;
     bool prepared = false;
     bool finished = false;  ///< applied commit/abort itself
+    // At-most-once guards: a retried or duplicated round message must not
+    // re-run prepare/commit/abort; the member just re-sends its reply.
+    std::uint64_t voted_token = 0;
+    bool voted_yes = false;
+    std::uint64_t decided_token = 0;
   };
   struct SubCoord {
     ev::EndpointId ep = ev::kInvalidEndpoint;
@@ -92,12 +121,16 @@ class TxnHarness {
   };
 
   des::Process member_loop(std::size_t index);
-  /// Fan a message out to a group and gather replies until `expect` arrive
-  /// or the timeout fires; returns the replies received.
-  des::Task<std::vector<ev::Message>> fan_gather(ev::EndpointId from,
-                                                 const std::vector<std::size_t>& members,
-                                                 const std::string& type,
-                                                 std::uint64_t token);
+  /// Fan `type` out to a group and gather one reply of an expected type per
+  /// member, retrying non-responders with backoff. The per-round `token`
+  /// isolates this gather from every other round's traffic; the timeout
+  /// timer is cancelled the moment the gather completes.
+  des::Task<GatherOutcome> fan_gather(ev::EndpointId from,
+                                      const std::vector<std::size_t>& members,
+                                      const std::string& type,
+                                      std::uint64_t token);
+  /// True iff `reply` is a legal reply type for a `sent` round message.
+  static bool reply_matches(const std::string& sent, const std::string& reply);
 
   ev::Bus* bus_;
   TxnConfig cfg_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "des/event.h"
@@ -456,6 +457,62 @@ TEST(Determinism, IdenticalRunsIdenticalTraces) {
   auto b = run_trace();
   EXPECT_EQ(a, b);
   EXPECT_FALSE(a.empty());
+}
+
+// --- cancellable timers (the timeout primitive of the control plane) ------
+
+TEST(Timer, FiresOnceAtItsDeadline) {
+  Simulator sim;
+  int fired = 0;
+  Timer t = sim.timer_in(100, [&] { ++fired; });
+  EXPECT_TRUE(t.armed());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_FALSE(t.armed());
+  t.cancel();  // after firing: a no-op
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, CancelBeforeDeadlineSuppressesTheCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer t = sim.timer_at(100, [&] { ++fired; });
+  sim.call_at(50, [&] { t.cancel(); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(t.armed());
+  // The cancelled entry still drains from the queue (clock reaches it).
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Timer, DefaultAndMovedFromHandlesAreInert) {
+  Timer empty;
+  EXPECT_FALSE(empty.armed());
+  empty.cancel();  // must not crash
+
+  Simulator sim;
+  int fired = 0;
+  Timer t = sim.timer_in(10, [&] { ++fired; });
+  Timer moved = std::move(t);
+  EXPECT_TRUE(moved.armed());
+  moved.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, StaleTimerCannotTerminateALaterRound) {
+  // The regression shape behind the D2T gather bug: round 1 arms a timeout,
+  // completes, and cancels it; the cancel must prevent the callback from
+  // firing inside round 2's window.
+  Simulator sim;
+  std::vector<int> hits;
+  Timer round1 = sim.timer_at(100, [&] { hits.push_back(1); });
+  sim.call_at(60, [&] { round1.cancel(); });  // round 1 completed early
+  Timer round2 = sim.timer_at(200, [&] { hits.push_back(2); });
+  sim.run();
+  EXPECT_EQ(hits, (std::vector<int>{2}));
+  (void)round2;
 }
 
 }  // namespace

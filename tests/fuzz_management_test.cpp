@@ -93,5 +93,43 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ManagementFuzz,
                          ::testing::Values(1ull, 7ull, 42ull, 1234ull,
                                            987654321ull));
 
+// The same fuzz, but on a lossy fabric: control messages are dropped,
+// duplicated, and delayed while the random action sequence runs. The
+// per-action invariants (inside fuzz_driver) must hold through every retry,
+// reply replay, and — if a round exhausts its retries — fence: a fenced
+// container reads zero on both sides of the ledger comparison.
+class ManagementFuzzUnderFaults
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ManagementFuzzUnderFaults, InvariantsSurviveActionsOnALossyFabric) {
+  auto spec = PipelineSpec::lammps_smartpointer(8, 13);
+  spec.steps = 16;
+  spec.management_enabled = false;  // the fuzzer is the only manager
+  StagedPipeline::Options opt;
+  // Above an honest round's worst case (aprun is 3-27 s plus pause/drain):
+  // only genuine message loss should trip the retry ladder.
+  opt.gm.cm_timeout = 60 * des::kSecond;
+  opt.gm.cm_retries = 3;
+  opt.gm.cm_backoff = 2 * des::kSecond;
+  opt.faults_enabled = true;
+  opt.faults.seed = GetParam();
+  opt.faults.control.drop_rate = 0.05;
+  opt.faults.control.duplicate_rate = 0.10;
+  opt.faults.control.delay_rate = 0.25;
+  opt.faults.control.delay_min = 10 * des::kMillisecond;
+  opt.faults.control.delay_max = 80 * des::kMillisecond;
+  StagedPipeline p(std::move(spec), opt);
+  spawn(p.sim(), fuzz_driver(p, util::Rng(GetParam()), 24));
+  const des::SimTime end = p.run();
+  EXPECT_LT(end, 2 * 3600 * des::kSecond);  // drained despite the chaos
+  EXPECT_TRUE(p.pool().conserved());
+  EXPECT_EQ(p.steps_emitted(), 16u);
+  const auto& st = p.injector()->stats();
+  EXPECT_GT(st.dropped + st.duplicated + st.delayed, 0u);  // faults did bite
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManagementFuzzUnderFaults,
+                         ::testing::Values(11ull, 29ull, 4242ull));
+
 }  // namespace
 }  // namespace ioc::core

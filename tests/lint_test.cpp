@@ -429,6 +429,72 @@ TEST(TraceCheck, UnknownContainerIsFlagged) {
   EXPECT_TRUE(r.ok());  // a warning, not an error
 }
 
+TEST(TraceCheck, IOC105TimeoutWithoutRecoveryIsFlagged) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  // The round hung, the manager recorded the TIMEOUT — and then nothing:
+  // no retry, no escalation. Even a (stale) DONE does not excuse it.
+  const std::vector<ControlTraceEvent> trace = {
+      ev("bonds", core::kMsgIncrease, true),
+      ev("bonds", core::kMarkTimeout, true),
+      ev("bonds", core::kMsgDone, false, +2),
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_TRUE(codes(r).count("IOC105")) << to_text(r);
+  EXPECT_FALSE(codes(r).count("IOC102"));  // the round itself did complete
+}
+
+TEST(TraceCheck, TimeoutAnsweredByRetryIsClean) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  const std::vector<ControlTraceEvent> trace = {
+      ev("bonds", core::kMsgIncrease, true),
+      ev("bonds", core::kMarkTimeout, true),
+      ev("bonds", core::kMarkRetry, true),
+      ev("bonds", core::kMsgDone, false, +2),
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_TRUE(r.ok()) << to_text(r);
+  EXPECT_FALSE(codes(r).count("IOC105"));
+}
+
+TEST(TraceCheck, EscalateSettlesTheFencedContainerCleanly) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  // Retries exhausted: the container is fenced mid-round. The ESCALATE
+  // marker must settle everything — the open request (no IOC102), the
+  // dangling timeout (no IOC105), and the fenced container's width (its
+  // nodes returned to the spare set, so no IOC103 either), leaving the
+  // FSM offline.
+  const std::vector<ControlTraceEvent> trace = {
+      ev("csym", core::kMsgIncrease, true),
+      ev("csym", core::kMarkTimeout, true),
+      ev("csym", core::kMarkRetry, true),
+      ev("csym", core::kMarkTimeout, true),
+      ev("csym", core::kMarkEscalate, true, -2),
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_TRUE(r.ok()) << to_text(r);
+  EXPECT_FALSE(codes(r).count("IOC102"));
+  EXPECT_FALSE(codes(r).count("IOC105"));
+  EXPECT_FALSE(codes(r).count("IOC103"));
+}
+
+TEST(TraceCheck, MarkersNeverAdvanceTheProtocolState) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  // A retried round is still ONE round: the RETRY marker between request
+  // and reply must not be treated as a second request (which would be
+  // illegal in kResizing and trip IOC101).
+  const std::vector<ControlTraceEvent> trace = {
+      ev("bonds", core::kMsgDecrease, true),
+      ev("bonds", core::kMarkTimeout, true),
+      ev("bonds", core::kMarkRetry, true),
+      ev("bonds", core::kMarkTimeout, true),
+      ev("bonds", core::kMarkRetry, true),
+      ev("bonds", core::kMsgDone, false, -1),
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_TRUE(r.ok()) << to_text(r);
+  EXPECT_FALSE(codes(r).count("IOC101"));
+}
+
 TEST(TraceCheck, LiveManagedRunProducesACleanTrace) {
   // End-to-end: a real managed run's recorded control trace replays clean
   // through the same state machine the debug assertions use.

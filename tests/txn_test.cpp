@@ -5,6 +5,7 @@
 #include "des/process.h"
 #include "des/simulator.h"
 #include "ev/bus.h"
+#include "fault/injector.h"
 #include "net/cluster.h"
 #include "net/network.h"
 #include "txn/d2t.h"
@@ -195,6 +196,152 @@ INSTANTIATE_TEST_SUITE_P(
         FailureCase{0, Phase::kDecide, Outcome::kCommitted},
         FailureCase{1, Phase::kDecide, Outcome::kCommitted},
         FailureCase{4, Phase::kDecide, Outcome::kCommitted}));
+
+TEST(D2t, MessagesDerivedFromRoundsExecuted) {
+  // Regression for the hardcoded "+ 6" overhead constant: the reported
+  // message count must equal the bus's control-class delta plus four
+  // coordinator<->sub-coordinator hops per round actually executed.
+  TxnFixture f;
+  TxnConfig cfg;
+  cfg.writers = 6;
+  cfg.readers = 2;
+  TxnHarness h(f.bus, cfg);
+  const std::uint64_t before = f.bus.stats(ev::TrafficClass::kControl).messages;
+  TxnResult r;
+  spawn(f.sim, run_txn(h, &r));
+  f.sim.run_until(10 * des::kSecond);
+  const std::uint64_t delta =
+      f.bus.stats(ev::TrafficClass::kControl).messages - before;
+  EXPECT_EQ(r.outcome, Outcome::kCommitted);
+  EXPECT_EQ(r.rounds, 3);
+  EXPECT_EQ(r.messages, delta + 4u * 3u);
+  // Healthy path, exact: each member gets one request and sends one reply
+  // per round (2 * 8 * 3 bus messages) plus the 12 coordinator hops.
+  EXPECT_EQ(r.messages, 6u * 8u + 12u);
+}
+
+TEST(D2t, StaleTimeoutRegression_SlowNetworkCommitsViaRetries) {
+  // The original fan_gather shared ONE token across all three rounds and
+  // never cancelled its timeout callback: with replies slower than
+  // gather_timeout, round N's stale timeout terminated round N+1 early and
+  // the transaction aborted. With per-round tokens, cancellable timers, and
+  // resends, the late replies are credited to the right round and the
+  // transaction commits. This test aborts on the pre-fix code.
+  TxnFixture f;
+  net::NetworkConfig slow;
+  slow.latency = 500 * des::kMillisecond;  // reply RTT ~1 s
+  net::Network slow_net(f.cluster, slow);
+  ev::Bus slow_bus(slow_net);
+  TxnConfig cfg;
+  cfg.writers = 4;
+  cfg.readers = 2;
+  cfg.gather_timeout = 200 * des::kMillisecond;  // far below the RTT
+  cfg.retry_backoff = 100 * des::kMillisecond;
+  cfg.max_retries = 5;
+  TxnHarness h(slow_bus, cfg);
+  Ledger ledger;
+  DebitOp debit(&ledger);
+  CreditOp credit(&ledger);
+  h.set_operation(0, &debit);
+  h.set_operation(4, &credit);
+  TxnResult r;
+  spawn(f.sim, run_txn(h, &r));
+  f.sim.run_until(120 * des::kSecond);
+  EXPECT_EQ(r.outcome, Outcome::kCommitted);
+  EXPECT_EQ(r.rounds, 3);
+  EXPECT_GT(r.retries, 0);  // every round needed at least one resend
+  EXPECT_FALSE(r.escalated);
+  EXPECT_EQ(ledger.a, 4);
+  EXPECT_EQ(ledger.b, 6);
+  EXPECT_EQ(ledger.total(), 10);
+}
+
+// Fault-injected trades: for every failure phase crossed with message drop,
+// delay, and duplication on the control plane, the ledger total is conserved
+// and the two operations agree — committed everywhere or aborted everywhere.
+enum class FaultKind { kDrop, kDelay, kDuplicate };
+
+struct ChaosCase {
+  FaultKind kind;
+  int participant;  ///< -1 = no injected death
+  Phase phase;
+};
+
+class D2tMessageFaults : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(D2tMessageFaults, AtomicUnderMessageFaults) {
+  const auto p = GetParam();
+  TxnFixture f;
+  fault::ClassFaults cf;
+  switch (p.kind) {
+    case FaultKind::kDrop:
+      cf.drop_rate = 0.10;
+      break;
+    case FaultKind::kDelay:
+      cf.delay_rate = 0.5;
+      cf.delay_min = 50 * des::kMillisecond;
+      cf.delay_max = 400 * des::kMillisecond;
+      break;
+    case FaultKind::kDuplicate:
+      cf.duplicate_rate = 0.25;
+      break;
+  }
+  fault::Injector inj(f.bus, fault::FaultConfig::uniform(
+                                 42 + static_cast<std::uint64_t>(p.phase),
+                                 cf));
+  TxnConfig cfg;
+  cfg.writers = 4;
+  cfg.readers = 2;
+  cfg.gather_timeout = des::kSecond;
+  cfg.max_retries = 5;
+  cfg.retry_backoff = 100 * des::kMillisecond;
+  cfg.failure.participant = p.participant;
+  cfg.failure.at = p.phase;
+  TxnHarness h(f.bus, cfg);
+  Ledger ledger;
+  DebitOp debit(&ledger);
+  CreditOp credit(&ledger);
+  h.set_operation(1, &debit);   // writer side
+  h.set_operation(4, &credit);  // reader side
+  TxnResult r;
+  spawn(f.sim, run_txn(h, &r));
+  f.sim.run_until(300 * des::kSecond);
+  // Atomicity: both ops applied, or neither — never a half-applied trade.
+  if (r.outcome == Outcome::kCommitted) {
+    EXPECT_EQ(ledger.a, 4);
+    EXPECT_EQ(ledger.b, 6);
+  } else {
+    EXPECT_EQ(ledger.a, 5);
+    EXPECT_EQ(ledger.b, 5);
+  }
+  EXPECT_EQ(ledger.total(), 10);
+  // A death before the decision always forces an abort; with no injected
+  // death an abort can only be the escalation path (retries exhausted).
+  if (p.participant >= 0 && p.phase <= Phase::kVote) {
+    EXPECT_EQ(r.outcome, Outcome::kAborted);
+  }
+  if (p.participant < 0 && r.outcome == Outcome::kAborted) {
+    EXPECT_TRUE(r.escalated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhasesTimesFaults, D2tMessageFaults,
+    ::testing::Values(
+        // No injected death: the message faults alone.
+        ChaosCase{FaultKind::kDrop, -1, Phase::kNever},
+        ChaosCase{FaultKind::kDelay, -1, Phase::kNever},
+        ChaosCase{FaultKind::kDuplicate, -1, Phase::kNever},
+        // Death at each phase x each fault kind.
+        ChaosCase{FaultKind::kDrop, 1, Phase::kBegin},
+        ChaosCase{FaultKind::kDelay, 1, Phase::kBegin},
+        ChaosCase{FaultKind::kDuplicate, 1, Phase::kBegin},
+        ChaosCase{FaultKind::kDrop, 4, Phase::kVote},
+        ChaosCase{FaultKind::kDelay, 4, Phase::kVote},
+        ChaosCase{FaultKind::kDuplicate, 4, Phase::kVote},
+        ChaosCase{FaultKind::kDrop, 1, Phase::kDecide},
+        ChaosCase{FaultKind::kDelay, 1, Phase::kDecide},
+        ChaosCase{FaultKind::kDuplicate, 1, Phase::kDecide}));
 
 TEST(D2t, DurationGrowsModeratelyWithWriters) {
   // The Fig. 6 property: completion time scales gracefully with the
