@@ -1,5 +1,7 @@
 #include "lint/rules.h"
 
+#include "lint/feasibility.h"
+
 #include <algorithm>
 #include <map>
 #include <sstream>
@@ -377,6 +379,20 @@ const std::vector<Rule>& rules() {
       {{"IOC105", Severity::kError, "",
         "control round timed out with no matching RETRY or ESCALATE"},
        nullptr},
+      // Static feasibility analysis (src/lint/feasibility.cpp): can the
+      // management plane ever satisfy the declared SLAs?
+      {{"IOC201", Severity::kError, "nodes",
+        "SLA statically infeasible: no width can hold the output interval"},
+       rule_infeasible_sla},
+      {{"IOC202", Severity::kWarning, "staging_nodes",
+        "predicted container widths over-subscribe the staging allocation"},
+       rule_aggregate_oversubscription},
+      {{"IOC203", Severity::kWarning, "nodes",
+        "potential trade deadlock: every donor itself needs to grow"},
+       rule_trade_deadlock},
+      {{"IOC204", Severity::kWarning, "starts_offline",
+        "declared capability needs an unreachable Fig. 3 state"},
+       rule_unreachable_capability},
       // Parser finding (emitted by the ioc_lint CLI on unreadable input).
       {{"IOC900", Severity::kError, "", "config file cannot be parsed"},
        nullptr},

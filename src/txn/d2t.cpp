@@ -2,32 +2,16 @@
 
 #include <algorithm>
 
+#include "txn/d2t_model.h"
 #include "util/log.h"
 
 namespace ioc::txn {
 
-namespace {
-
-constexpr const char* kBeginMsg = "TXN_BEGIN";
-constexpr const char* kVoteMsg = "TXN_VOTE";
-constexpr const char* kCommitMsg = "TXN_COMMIT";
-constexpr const char* kAbortMsg = "TXN_ABORT";
-constexpr const char* kTimeoutMsg = "__txn_timeout__";
-
-bool is_decision(const std::string& type) {
-  return type == kCommitMsg || type == kAbortMsg;
-}
-
-}  // namespace
-
 bool TxnHarness::reply_matches(const std::string& sent,
                                const std::string& reply) {
-  if (sent == kBeginMsg) return reply == "TXN_BEGUN";
-  if (sent == kVoteMsg) {
-    return reply == "TXN_VOTE_YES" || reply == "TXN_VOTE_NO";
-  }
-  if (is_decision(sent)) return reply == "TXN_FINAL";
-  return false;
+  // Delegates to the shared round table (d2t_model.h) so the verifier's
+  // model of legal replies and this runtime filter are one definition.
+  return d2t_reply_matches(sent, reply);
 }
 
 TxnHarness::TxnHarness(ev::Bus& bus, TxnConfig cfg) : bus_(&bus), cfg_(cfg) {
@@ -90,18 +74,18 @@ des::Process TxnHarness::member_loop(std::size_t index) {
       // Begin changes no state, so a retried/duplicated begin just elicits
       // another (idempotent) ack.
       ev::Message reply;
-      reply.type = "TXN_BEGUN";
+      reply.type = kBegunReply;
       reply.token = msg->token;
       co_await bus_->post(my_ep, msg->from, std::move(reply));
     } else if (msg->type == kVoteMsg) {
       if (me.dies_at <= Phase::kVote) me.dead = true;
       if (me.dead) continue;
-      if (me.decided_token / 10 >= msg->token / 10) {
+      if (d2t_txn_of(me.decided_token) >= d2t_txn_of(msg->token)) {
         // A delayed vote request for a transaction that already decided
         // (tokens encode txn*10 + phase): preparing now would reserve state
         // nobody will ever commit or roll back. Vote no without preparing.
         ev::Message reply;
-        reply.type = "TXN_VOTE_NO";
+        reply.type = kVoteNoReply;
         reply.token = msg->token;
         co_await bus_->post(my_ep, msg->from, std::move(reply));
         continue;
@@ -121,26 +105,31 @@ des::Process TxnHarness::member_loop(std::size_t index) {
         me.voted_yes = yes;
       }
       ev::Message reply;
-      reply.type = yes ? "TXN_VOTE_YES" : "TXN_VOTE_NO";
+      reply.type = yes ? kVoteYesReply : kVoteNoReply;
       reply.token = msg->token;
       co_await bus_->post(my_ep, msg->from, std::move(reply));
-    } else if (is_decision(msg->type)) {
+    } else if (d2t_is_decision(msg->type)) {
       if (me.dies_at <= Phase::kDecide) me.dead = true;
       if (me.dead) continue;
-      if (me.voted_token / 10 != msg->token / 10) {
+      if (d2t_txn_of(me.voted_token) != d2t_txn_of(msg->token)) {
         // Decision for a transaction this member never voted in — a delayed
         // duplicate from an earlier trade, or the member missed the vote
         // round entirely. Applying it would commit/abort the WRONG trade's
         // reservation; ack without touching state (the coordinator's
         // recovery pass applies the logged decision where needed).
         ev::Message reply;
-        reply.type = "TXN_FINAL";
+        reply.type = kFinalReply;
         reply.token = msg->token;
         co_await bus_->post(my_ep, msg->from, std::move(reply));
         continue;
       }
       if (me.decided_token != msg->token) {
         // First sight of this decision: apply it. Duplicates only re-ack.
+        // The guards are O(1) scalars, not per-txn maps: token monotonicity
+        // (d2t_model.h) means the latest voted/decided token subsumes all
+        // history, so a soak of millions of transactions keeps member state
+        // constant-size. decided_token can only move forward — the vote
+        // check above already rejected anything from an older transaction.
         if (me.op != nullptr) {
           if (msg->type == kCommitMsg) {
             me.op->commit();
@@ -150,10 +139,10 @@ des::Process TxnHarness::member_loop(std::size_t index) {
         }
         me.prepared = false;
         me.finished = true;
-        me.decided_token = msg->token;
+        me.decided_token = std::max(me.decided_token, msg->token);
       }
       ev::Message reply;
-      reply.type = "TXN_FINAL";
+      reply.type = kFinalReply;
       reply.token = msg->token;
       co_await bus_->post(my_ep, msg->from, std::move(reply));
     }
@@ -265,7 +254,7 @@ des::Task<TxnResult> TxnHarness::run() {
       bus_->stats(ev::TrafficClass::kControl).messages;
   // Each round draws its own token from a per-transaction block, so a late
   // reply (or a stale timeout) from one round can never satisfy the next.
-  const std::uint64_t token_base = 1000 + 10 * ++txn_counter_;
+  const std::uint64_t token_base = d2t_token(++txn_counter_, 0);
 
   TxnResult result;
   ev::Endpoint* coord_ep = bus_->find(coord_);
@@ -330,7 +319,7 @@ des::Task<TxnResult> TxnHarness::run() {
     auto count_yes = [](const GatherOutcome& g) {
       std::size_t n = 0;
       for (const auto& m : g.replies) {
-        if (m.type == "TXN_VOTE_YES") ++n;
+        if (m.type == kVoteYesReply) ++n;
       }
       return n;
     };
@@ -365,7 +354,10 @@ des::Task<TxnResult> TxnHarness::run() {
       }
       m.prepared = false;
       m.finished = true;
-      m.decided_token = token_base + 2;
+      // Monotone by construction (token_base grows every transaction), but
+      // keep the forward-only discipline explicit: a decided_token that
+      // regressed would re-open an older transaction's at-most-once window.
+      m.decided_token = std::max(m.decided_token, token_base + 2);
     }
   }
 

@@ -1,0 +1,41 @@
+#include "txn/d2t_model.h"
+
+#include <cstring>
+
+namespace ioc::txn {
+
+const D2tRound* d2t_rounds(std::size_t* count) {
+  // Execution order of TxnHarness::run(): begin (phase 0), vote (phase 1),
+  // decide (phase 2; commit and abort are the two request spellings of the
+  // same round and share its token).
+  static const D2tRound kRounds[] = {
+      {kBeginMsg, kBegunReply, nullptr, 0},
+      {kVoteMsg, kVoteYesReply, kVoteNoReply, 1},
+      {kCommitMsg, kFinalReply, nullptr, 2},
+      {kAbortMsg, kFinalReply, nullptr, 2},
+  };
+  if (count != nullptr) *count = sizeof(kRounds) / sizeof(kRounds[0]);
+  return kRounds;
+}
+
+const D2tRound* d2t_round_for(const std::string& sent) {
+  std::size_t n = 0;
+  const D2tRound* rounds = d2t_rounds(&n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sent == rounds[i].request) return &rounds[i];
+  }
+  return nullptr;
+}
+
+bool d2t_reply_matches(const std::string& sent, const std::string& reply) {
+  const D2tRound* r = d2t_round_for(sent);
+  if (r == nullptr) return false;
+  return reply == r->reply_a ||
+         (r->reply_b != nullptr && reply == r->reply_b);
+}
+
+bool d2t_is_decision(const std::string& type) {
+  return type == kCommitMsg || type == kAbortMsg;
+}
+
+}  // namespace ioc::txn

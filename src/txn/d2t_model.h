@@ -1,0 +1,78 @@
+// The D2T round structure as an explicit transition model, shared between
+// the runtime harness (txn/d2t.cpp) and the model checker (src/verify) the
+// same way core/protocol_fsm.h is shared between the GlobalManager and the
+// lint trace replayer: one table describes which request message each round
+// sends, which reply types answer it, and how the round's token is derived,
+// so the implementation and the verifier can never drift apart silently.
+//
+// Token scheme (the at-most-once machinery hangs off it): every transaction
+// draws a base token `kTokenFloor + kTokensPerTxn * txn_counter`, and round
+// `p` of that transaction uses `base + p`. Because kTokensPerTxn is larger
+// than the number of phases, `token / kTokensPerTxn` recovers the
+// transaction id from any round token — the comparison the member-side
+// dedupe guards use to tell "retry of this round" from "stale traffic of an
+// earlier transaction". Tokens are strictly monotone across transactions,
+// which is what makes O(1) per-member guards (latest voted/decided token)
+// sufficient: anything older than the recorded token is by construction a
+// duplicate or stale, so the guards never need to grow with history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ioc::txn {
+
+// Round messages (coordinator -> member).
+inline constexpr const char* kBeginMsg = "TXN_BEGIN";
+inline constexpr const char* kVoteMsg = "TXN_VOTE";
+inline constexpr const char* kCommitMsg = "TXN_COMMIT";
+inline constexpr const char* kAbortMsg = "TXN_ABORT";
+// Replies (member -> coordinator).
+inline constexpr const char* kBegunReply = "TXN_BEGUN";
+inline constexpr const char* kVoteYesReply = "TXN_VOTE_YES";
+inline constexpr const char* kVoteNoReply = "TXN_VOTE_NO";
+inline constexpr const char* kFinalReply = "TXN_FINAL";
+// Internal gather-deadline marker (never crosses the bus).
+inline constexpr const char* kTimeoutMsg = "__txn_timeout__";
+
+/// Token block per transaction; must exceed the highest phase offset.
+inline constexpr std::uint64_t kTokensPerTxn = 10;
+/// First token block (keeps txn tokens disjoint from control-round tokens).
+inline constexpr std::uint64_t kTokenFloor = 1000;
+
+/// One gather round of the D2T protocol: the request the coordinator fans
+/// out, the replies that legally answer it, and the phase offset added to
+/// the transaction's base token.
+struct D2tRound {
+  const char* request;      ///< coordinator -> member message type
+  const char* reply_a;      ///< legal reply type
+  const char* reply_b;      ///< alternate legal reply (nullptr = none)
+  std::uint64_t phase;      ///< token offset within the txn's block
+};
+
+/// The three rounds, in execution order: begin, vote, decide. The decide
+/// round appears twice (commit and abort are alternative request types of
+/// the same round — same phase offset, same reply).
+const D2tRound* d2t_rounds(std::size_t* count);
+
+/// Table lookup: the round driven by request type `sent` (null = unknown).
+const D2tRound* d2t_round_for(const std::string& sent);
+
+/// True iff `reply` is a legal reply type for a `sent` round message —
+/// derived from the table, used by the gather loop's reply filter.
+bool d2t_reply_matches(const std::string& sent, const std::string& reply);
+
+/// True for TXN_COMMIT / TXN_ABORT.
+bool d2t_is_decision(const std::string& type);
+
+/// Round token of phase `phase` in the transaction numbered `txn` (1-based).
+inline std::uint64_t d2t_token(std::uint64_t txn, std::uint64_t phase) {
+  return kTokenFloor + kTokensPerTxn * txn + phase;
+}
+
+/// Transaction id a round token belongs to.
+inline std::uint64_t d2t_txn_of(std::uint64_t token) {
+  return token / kTokensPerTxn;
+}
+
+}  // namespace ioc::txn

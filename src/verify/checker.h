@@ -1,0 +1,50 @@
+// Exhaustive explorer for the verification model: breadth-first search over
+// the product automaton with state hashing (a visited set over the
+// canonical byte encoding) and optional partial-order reduction via the
+// model's ample sets. BFS, not DFS, so the first violation found sits at
+// minimum depth — the counterexample is a shortest trace.
+//
+// Termination needs no cycle handling beyond the visited set: the model's
+// state graph is acyclic. Every action strictly decreases the lexicographic
+// measure (remaining fault budget + retries, unreached one-shot milestones,
+// weighted in-flight copies): faults and timeouts consume budget/retries,
+// conversation and round progress consumes one-shot milestones (resets of
+// round retries ride on a milestone), and deliveries convert a
+// weight-2 request copy into at most a weight-1 reply copy. This is also
+// what discharges the ample-set cycle condition for the reduction.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "verify/model.h"
+
+namespace ioc::verify {
+
+struct CheckOptions {
+  bool por = true;
+  /// Hard cap on stored states; hitting it makes the run inconclusive.
+  std::size_t max_states = 20u * 1000 * 1000;
+};
+
+struct CheckReport {
+  std::size_t states = 0;     ///< distinct states stored
+  std::size_t edges = 0;      ///< transitions applied
+  std::size_t terminals = 0;  ///< states with no enabled action
+  std::size_t depth = 0;      ///< deepest BFS layer reached
+  double seconds = 0;
+  bool capped = false;        ///< max_states hit: exploration inconclusive
+  std::optional<Violation> violation;
+  /// Shortest action path from the initial state into the violation.
+  std::vector<Step> counterexample;
+  /// The counterexample's control-trace events, in order, with `at` set to
+  /// the 1-based event index — ready for lint::check_trace or trace export.
+  std::vector<core::ControlTraceEvent> trace;
+
+  bool ok() const { return !violation.has_value() && !capped; }
+};
+
+CheckReport run_check(const Model& model, const CheckOptions& opts = {});
+
+}  // namespace ioc::verify

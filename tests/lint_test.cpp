@@ -194,6 +194,105 @@ TEST(LintRules, IOC018ZeroOverflowBacklog) {
   EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC018"));
 }
 
+// --- static feasibility (IOC2xx) -------------------------------------------
+
+core::ContainerSpec feas_container(const std::string& name,
+                                   sp::ComponentKind kind,
+                                   sp::ComputeModel model,
+                                   std::uint32_t nodes, std::uint32_t min,
+                                   const std::string& upstream) {
+  core::ContainerSpec c;
+  c.name = name;
+  c.kind = kind;
+  c.model = model;
+  c.initial_nodes = nodes;
+  c.min_nodes = min;
+  c.upstream = upstream;
+  return c;
+}
+
+TEST(LintRules, IOC201InfeasibleSla) {
+  // The 1024-rank regime: an O(n^2) bonds step takes ~64 s even with the
+  // whole 13-node allocation, so no width holds the 15 s interval.
+  auto spec = base_spec();
+  spec.sim_nodes = 1024;
+  const auto c = codes(lint_spec(spec));
+  EXPECT_TRUE(c.count("IOC201")) << to_text(lint_spec(spec));
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC201"));
+}
+
+TEST(LintRules, IOC202AggregateOversubscription) {
+  // Individually feasible stages whose predicted widths (2 + 10 + 1) do
+  // not fit in 10 staging nodes. Two spares keep IOC203 quiet.
+  PipelineSpec spec;
+  spec.sim_nodes = 450;
+  spec.staging_nodes = 10;
+  spec.containers = {
+      feas_container("helper", sp::ComponentKind::kHelper,
+                     sp::ComputeModel::kTree, 2, 2, ""),
+      feas_container("bonds", sp::ComponentKind::kBonds,
+                     sp::ComputeModel::kParallel, 5, 1, "helper"),
+      feas_container("csym", sp::ComponentKind::kCsym,
+                     sp::ComputeModel::kRoundRobin, 1, 1, "bonds")};
+  const auto c = codes(lint_spec(spec));
+  EXPECT_TRUE(c.count("IOC202")) << to_text(lint_spec(spec));
+  EXPECT_FALSE(c.count("IOC201"));
+  EXPECT_FALSE(c.count("IOC203"));
+  spec.staging_nodes = 14;  // enough for the predicted widths
+  EXPECT_FALSE(codes(lint_spec(spec)).count("IOC202"));
+  spec.staging_nodes = 10;
+  spec.management_enabled = false;  // nobody will ask for the widths
+  EXPECT_FALSE(codes(lint_spec(spec)).count("IOC202"));
+}
+
+TEST(LintRules, IOC203TradeDeadlock) {
+  // No spares and both donors are themselves under their predicted width:
+  // each grow trade needs a node from the other needy stage.
+  PipelineSpec spec;
+  spec.sim_nodes = 350;
+  spec.staging_nodes = 10;
+  spec.containers = {
+      feas_container("helper", sp::ComponentKind::kHelper,
+                     sp::ComputeModel::kTree, 2, 2, ""),
+      feas_container("bonds", sp::ComponentKind::kBonds,
+                     sp::ComputeModel::kParallel, 4, 1, "helper"),
+      feas_container("bonds_replica", sp::ComponentKind::kBonds,
+                     sp::ComputeModel::kParallel, 4, 1, "bonds")};
+  const auto r = lint_spec(spec);
+  EXPECT_TRUE(codes(r).count("IOC203")) << to_text(r);
+  // One diagnostic per cycle member.
+  std::size_t hits = 0;
+  for (const auto& d : r.diagnostics) {
+    if (d.code == "IOC203") ++hits;
+  }
+  EXPECT_EQ(hits, 2u);
+  auto spared = spec;
+  spared.staging_nodes = 13;  // a spare pool breaks the cycle
+  EXPECT_FALSE(codes(lint_spec(spared)).count("IOC203"));
+  auto donated = spec;
+  donated.containers[0].min_nodes = 1;  // helper becomes a safe donor
+  EXPECT_FALSE(codes(lint_spec(donated)).count("IOC203"));
+}
+
+TEST(LintRules, IOC204UnreachableCapability) {
+  // Management disabled: the dormant CNA stage can never be activated.
+  auto spec = base_spec();
+  spec.management_enabled = false;
+  const auto r = lint_spec(spec);
+  EXPECT_TRUE(codes(r).count("IOC204")) << to_text(r);
+  // A stateful container is similarly cut off from the resizing state.
+  auto stateful = base_spec();
+  stateful.management_enabled = false;
+  stateful.containers[1].stateful = true;
+  stateful.containers[1].state_bytes = 4096;
+  std::size_t hits = 0;
+  for (const auto& d : lint_spec(stateful).diagnostics) {
+    if (d.code == "IOC204") ++hits;
+  }
+  EXPECT_EQ(hits, 2u);  // dormant cna + stateful container
+  EXPECT_FALSE(codes(lint_spec(base_spec())).count("IOC204"));
+}
+
 // --- lenient config loading ------------------------------------------------
 
 constexpr const char* kGoodConfig = R"(
@@ -353,6 +452,71 @@ TEST(ProtocolFsm, StatelessMessagesAreAlwaysLegal) {
   EXPECT_TRUE(m.advance(core::kMsgIncrease));
   EXPECT_TRUE(m.advance(core::kMsgMetric));  // monitoring flows regardless
   EXPECT_EQ(m.state(), core::CmState::kResizing);
+}
+
+TEST(ProtocolFsm, ExhaustiveStateMessageTableCrossProduct) {
+  // Every CmState crossed with every protocol.h message string: advance()
+  // must accept exactly the cm_transitions() edges plus the stateless
+  // messages (which never move the state), and reject everything else
+  // without moving — the markers (TIMEOUT/RETRY/ESCALATE) and HEARTBEAT are
+  // trace annotations respectively liveness chatter, never FSM inputs. Spot
+  // checks above show intent; this closes the complement so a new message
+  // or edge cannot slip in unexamined.
+  const core::CmState kAllStates[] = {
+      core::CmState::kIdle,         core::CmState::kResizing,
+      core::CmState::kQueried,      core::CmState::kSwitching,
+      core::CmState::kGoingOffline, core::CmState::kOffline,
+      core::CmState::kActivating,
+  };
+  const char* kAllMessages[] = {
+      core::kMsgIncrease,     core::kMsgDecrease,      core::kMsgOffline,
+      core::kMsgQueryNeeds,   core::kMsgSwitchToDisk,  core::kMsgActivate,
+      core::kMsgDone,         core::kMsgNeeds,         core::kMsgReplicaHello,
+      core::kMsgReplicaConfig, core::kMsgEndpointUpdate, core::kMsgMetric,
+      core::kMsgEnableHashes, core::kMsgHeartbeat,     core::kMarkTimeout,
+      core::kMarkRetry,       core::kMarkEscalate,
+  };
+  const auto& table = core::cm_transitions();
+  std::size_t legal_moves = 0;
+  for (core::CmState from : kAllStates) {
+    for (const char* msg : kAllMessages) {
+      // A message is either stateless, a marker, or a (potential) edge —
+      // the three classifications must not overlap.
+      const bool stateless = core::cm_message_is_stateless(msg);
+      const bool marker = core::cm_message_is_marker(msg);
+      EXPECT_FALSE(stateless && marker) << msg;
+
+      const core::CmTransition* edge = nullptr;
+      for (const auto& t : table) {
+        if (t.from == from && std::string(msg) == t.message) {
+          ASSERT_EQ(edge, nullptr)  // table must be deterministic
+              << "duplicate edge from " << core::cm_state_name(from)
+              << " on " << msg;
+          edge = &t;
+        }
+      }
+      if (edge != nullptr) {
+        EXPECT_FALSE(stateless) << msg << " is both stateless and an edge";
+        EXPECT_FALSE(marker) << msg << " is both a marker and an edge";
+      }
+
+      core::ProtocolFsm m(from);
+      const bool accepted = m.advance(msg);
+      EXPECT_EQ(accepted, stateless || edge != nullptr)
+          << core::cm_state_name(from) << " x " << msg;
+      if (edge != nullptr) {
+        EXPECT_EQ(m.state(), edge->to)
+            << core::cm_state_name(from) << " x " << msg;
+        ++legal_moves;
+      } else {
+        EXPECT_EQ(m.state(), from)  // rejects and stateless both stay put
+            << core::cm_state_name(from) << " x " << msg;
+      }
+    }
+  }
+  // Every table edge was exercised exactly once by the cross-product (i.e.
+  // the table references only states and messages enumerated here).
+  EXPECT_EQ(legal_moves, table.size());
 }
 
 // --- trace checking --------------------------------------------------------

@@ -343,6 +343,118 @@ INSTANTIATE_TEST_SUITE_P(
         ChaosCase{FaultKind::kDelay, 1, Phase::kDecide},
         ChaosCase{FaultKind::kDuplicate, 1, Phase::kDecide}));
 
+// Soak regression for the member-side at-most-once guards (voted_token /
+// decided_token): many sequential transactions through ONE harness under
+// simultaneous drop and duplication faults. Every duplicated vote request
+// must replay the recorded vote (not re-run prepare), every duplicated
+// decision must re-ack (not re-apply), and a delayed round from txn N must
+// never disturb txn N+1. The per-transaction op counters make any double
+// apply visible immediately, and the ledger total catches anything the
+// counters miss. Member-side guard state is two scalars per member (token
+// monotonicity subsumes history), so the soak also demonstrates that state
+// does not grow with transaction count.
+struct CountingDebit : Operation {
+  Ledger* l;
+  int prepares = 0, commits = 0, aborts = 0;
+  bool reserved = false;
+  explicit CountingDebit(Ledger* l) : l(l) {}
+  bool prepare() override {
+    ++prepares;
+    if (l->a <= 0) return false;
+    l->a -= 1;
+    reserved = true;
+    return true;
+  }
+  void commit() override {
+    ++commits;
+    reserved = false;
+  }
+  void abort() override {
+    ++aborts;
+    if (reserved) l->a += 1;
+    reserved = false;
+  }
+  void reset() { prepares = commits = aborts = 0; }
+};
+
+struct CountingCredit : Operation {
+  Ledger* l;
+  int prepares = 0, commits = 0, aborts = 0;
+  explicit CountingCredit(Ledger* l) : l(l) {}
+  bool prepare() override {
+    ++prepares;
+    return true;
+  }
+  void commit() override {
+    ++commits;
+    l->b += 1;
+  }
+  void abort() override { ++aborts; }
+  void reset() { prepares = commits = aborts = 0; }
+};
+
+TEST(D2t, SoakSequentialTxnsUnderDropAndDupStayAtMostOnce) {
+  constexpr int kTxns = 60;
+  TxnFixture f;
+  fault::ClassFaults cf;
+  cf.drop_rate = 0.05;
+  cf.duplicate_rate = 0.25;
+  fault::Injector inj(f.bus, fault::FaultConfig::uniform(20260808, cf));
+  TxnConfig cfg;
+  cfg.writers = 4;
+  cfg.readers = 2;
+  cfg.gather_timeout = 500 * des::kMillisecond;
+  cfg.max_retries = 6;
+  cfg.retry_backoff = 100 * des::kMillisecond;
+  TxnHarness h(f.bus, cfg);
+  Ledger ledger;
+  ledger.a = 1000;
+  ledger.b = 1000;
+  CountingDebit debit(&ledger);
+  CountingCredit credit(&ledger);
+  h.set_operation(1, &debit);   // writer side
+  h.set_operation(4, &credit);  // reader side
+  int committed = 0;
+  int done = 0;
+  auto soak = [&](TxnHarness& h) -> des::Process {
+    for (int i = 0; i < kTxns; ++i) {
+      debit.reset();
+      credit.reset();
+      const int a0 = ledger.a;
+      const int b0 = ledger.b;
+      TxnResult r = co_await h.run();
+      ++done;
+      // At-most-once per transaction, no matter how many duplicated or
+      // retried round messages the member saw.
+      EXPECT_LE(debit.prepares, 1) << "txn " << i;
+      EXPECT_LE(debit.commits, 1) << "txn " << i;
+      EXPECT_LE(credit.commits, 1) << "txn " << i;
+      EXPECT_LE(debit.commits + debit.aborts, 1) << "txn " << i;
+      if (r.outcome == Outcome::kCommitted) {
+        ++committed;
+        EXPECT_EQ(debit.commits, 1) << "txn " << i;
+        EXPECT_EQ(credit.commits, 1) << "txn " << i;
+        EXPECT_EQ(ledger.a, a0 - 1) << "txn " << i;
+        EXPECT_EQ(ledger.b, b0 + 1) << "txn " << i;
+      } else {
+        EXPECT_EQ(debit.commits, 0) << "txn " << i;
+        EXPECT_EQ(credit.commits, 0) << "txn " << i;
+        EXPECT_EQ(ledger.a, a0) << "txn " << i;
+        EXPECT_EQ(ledger.b, b0) << "txn " << i;
+      }
+      EXPECT_EQ(ledger.total(), 2000) << "txn " << i;
+    }
+  };
+  spawn(f.sim, soak(h));
+  f.sim.run_until(3600 * des::kSecond);
+  ASSERT_EQ(done, kTxns);
+  // The faults are survivable (drops are retried, duplicates deduplicated),
+  // so the soak must make real forward progress, not abort its way through.
+  EXPECT_GE(committed, kTxns / 2);
+  EXPECT_EQ(ledger.a, 1000 - committed);
+  EXPECT_EQ(ledger.b, 1000 + committed);
+}
+
 TEST(D2t, DurationGrowsModeratelyWithWriters) {
   // The Fig. 6 property: completion time scales gracefully with the
   // writer:reader core ratio.

@@ -6,8 +6,20 @@
 // report both a threads=1 baseline and at least one threads>1 point so the
 // speedup trajectory is always present in the artifact.
 //
-// usage: bench_check <BENCH_kernels.json>   exit 0 clean, 1 findings, 2 usage.
+// With --baseline it additionally compares the fresh artifact against a
+// committed baseline row by row (keyed by the unique "benchmark" name):
+// a row whose ns_per_atom regressed by more than --max-regression percent
+// is a finding, as is a baseline row the fresh run no longer covers. New
+// rows that only exist in the fresh run are fine. --update-baseline
+// rewrites the baseline file from a fresh artifact that passed the schema
+// checks — the escape hatch after an intentional kernel change.
+//
+// usage: bench_check [--baseline FILE] [--max-regression PCT]
+//                    [--update-baseline] <BENCH_kernels.json>
+// exit 0 clean, 1 findings, 2 usage.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <set>
@@ -28,28 +40,12 @@ bool read_file(const std::string& p, std::string* out) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: bench_check <BENCH_kernels.json>\n");
-    return 2;
-  }
-  std::string text;
-  if (!read_file(argv[1], &text)) {
-    std::fprintf(stderr, "bench_check: cannot read %s\n", argv[1]);
-    return 1;
-  }
-  ioc::trace::json::Value root;
-  std::string error;
-  if (!ioc::trace::json::parse(text, &root, &error)) {
-    std::fprintf(stderr, "bench_check: %s: %s\n", argv[1], error.c_str());
-    return 1;
-  }
-
-  std::vector<std::string> findings;
-  auto fail = [&findings](std::string msg) {
-    findings.push_back(std::move(msg));
+/// Schema/row validation shared by the fresh artifact and the baseline.
+/// Appends findings prefixed with `label`.
+void check_schema(const ioc::trace::json::Value& root, const std::string& label,
+                  std::vector<std::string>* findings) {
+  auto fail = [&](std::string msg) {
+    findings->push_back(label + ": " + std::move(msg));
   };
 
   if (!root.is_object()) fail("top level is not an object");
@@ -115,15 +111,139 @@ int main(int argc, char** argv) {
       }
     }
   }
+}
+
+/// Per-row regression gate: every baseline row must still exist and must
+/// not have slowed past the allowance.
+void compare_to_baseline(const ioc::trace::json::Value& fresh,
+                         const ioc::trace::json::Value& baseline,
+                         double max_regression_pct,
+                         std::vector<std::string>* findings) {
+  std::map<std::string, double> fresh_rows;
+  if (const auto* results = fresh.find("results");
+      results != nullptr && results->is_array()) {
+    for (const auto& r : results->array) {
+      if (r.is_object() && !r.str_or("benchmark").empty()) {
+        fresh_rows[r.str_or("benchmark")] = r.num_or("ns_per_atom");
+      }
+    }
+  }
+  const auto* base_results = baseline.find("results");
+  if (base_results == nullptr || !base_results->is_array()) return;
+  const double allowance = 1.0 + max_regression_pct / 100.0;
+  for (const auto& r : base_results->array) {
+    if (!r.is_object()) continue;
+    const std::string name = r.str_or("benchmark");
+    if (name.empty()) continue;
+    const auto it = fresh_rows.find(name);
+    if (it == fresh_rows.end()) {
+      findings->push_back("baseline row '" + name +
+                          "' is missing from the fresh run (kernel coverage "
+                          "lost)");
+      continue;
+    }
+    const double base = r.num_or("ns_per_atom");
+    if (base <= 0) continue;  // baseline schema findings cover this
+    if (it->second > base * allowance) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "'%s' regressed %.1f%%: %.1f -> %.1f ns/atom (allowed "
+                    "%.0f%%)",
+                    name.c_str(), (it->second / base - 1.0) * 100.0, base,
+                    it->second, max_regression_pct);
+      findings->push_back(buf);
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_check [--baseline FILE] [--max-regression PCT] "
+               "[--update-baseline] <BENCH_kernels.json>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fresh_path;
+  std::string baseline_path;
+  double max_regression_pct = 15.0;
+  bool update_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(arg, "--max-regression") == 0 && i + 1 < argc) {
+      max_regression_pct = std::atof(argv[++i]);
+      if (max_regression_pct <= 0) return usage();
+    } else if (std::strcmp(arg, "--update-baseline") == 0) {
+      update_baseline = true;
+    } else if (arg[0] == '-') {
+      return usage();
+    } else if (fresh_path.empty()) {
+      fresh_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (fresh_path.empty()) return usage();
+  if (update_baseline && baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "bench_check: --update-baseline needs --baseline FILE\n");
+    return 2;
+  }
+
+  std::string text;
+  if (!read_file(fresh_path, &text)) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n", fresh_path.c_str());
+    return 1;
+  }
+  ioc::trace::json::Value root;
+  std::string error;
+  if (!ioc::trace::json::parse(text, &root, &error)) {
+    std::fprintf(stderr, "bench_check: %s: %s\n", fresh_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> findings;
+  check_schema(root, fresh_path, &findings);
+
+  if (!baseline_path.empty() && !update_baseline) {
+    std::string base_text;
+    ioc::trace::json::Value base_root;
+    if (!read_file(baseline_path, &base_text)) {
+      findings.push_back("cannot read baseline " + baseline_path);
+    } else if (!ioc::trace::json::parse(base_text, &base_root, &error)) {
+      findings.push_back("baseline " + baseline_path + ": " + error);
+    } else {
+      compare_to_baseline(root, base_root, max_regression_pct, &findings);
+    }
+  }
 
   for (const auto& f : findings) {
-    std::fprintf(stderr, "bench_check: %s: %s\n", argv[1], f.c_str());
+    std::fprintf(stderr, "bench_check: %s: %s\n", fresh_path.c_str(),
+                 f.c_str());
   }
-  if (findings.empty()) {
-    const auto n = root.find("results");
-    std::printf("bench_check: %s ok (%zu results)\n", argv[1],
-                n != nullptr ? n->array.size() : 0);
+  if (!findings.empty()) return 1;
+
+  if (update_baseline) {
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out.good()) {
+      std::fprintf(stderr, "bench_check: cannot write baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::printf("bench_check: baseline %s updated from %s\n",
+                baseline_path.c_str(), fresh_path.c_str());
     return 0;
   }
-  return 1;
+
+  const auto* n = root.find("results");
+  std::printf("bench_check: %s ok (%zu results%s)\n", fresh_path.c_str(),
+              n != nullptr ? n->array.size() : 0,
+              baseline_path.empty() ? "" : ", baseline compared");
+  return 0;
 }
