@@ -1,0 +1,133 @@
+// fleet_scale: federation scaling bench. Runs the fed::Fleet soak at 1, 2,
+// 4, and 8 GM shards (pipelines scale with the shard count so per-shard load
+// stays constant) and emits a machine-readable BENCH_fleet.json (default,
+// override with IOC_BENCH_FLEET_JSON) next to BENCH_kernels.json.
+//
+// Two kinds of numbers per row, deliberately separated:
+//   - resize_p99_ms / resizes / trades / events come from simulated time and
+//     a fixed seed, so they are bit-for-bit reproducible on any machine —
+//     bench_check gates these against the committed baseline.
+//   - events_per_wall_sec is wall-clock simulator throughput — reported for
+//     humans, never gated (it moves with the hardware).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "des/time.h"
+#include "fed/fleet.h"
+
+namespace {
+
+struct FleetRow {
+  std::string benchmark;
+  std::size_t shards = 0;
+  std::size_t pipelines = 0;
+  double resize_p99_ms = 0;
+  std::uint64_t resizes = 0;
+  std::uint64_t trades_committed = 0;
+  std::uint64_t events = 0;
+  double events_per_wall_sec = 0;
+};
+
+double p99_ms(std::vector<ioc::des::SimTime> lat) {
+  if (lat.empty()) return 0;
+  std::sort(lat.begin(), lat.end());
+  const std::size_t idx = (lat.size() * 99) / 100;
+  const auto v = lat[idx < lat.size() ? idx : lat.size() - 1];
+  return static_cast<double>(v) / static_cast<double>(ioc::des::kMillisecond);
+}
+
+FleetRow run_point(std::size_t shards) {
+  ioc::fed::Fleet::Options opt;
+  opt.shards = shards;
+  opt.pipelines = 16 * shards;
+  opt.staging_per_shard = 8;
+  opt.horizon = 15 * ioc::des::kSecond;
+  opt.settle = 3 * ioc::des::kSecond;
+  opt.demand_events = 60 * shards;
+  opt.seed = 42;  // fixed: the gated columns must reproduce everywhere
+
+  ioc::fed::Fleet fleet(std::move(opt));
+  const auto wall0 = std::chrono::steady_clock::now();
+  const auto result = fleet.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  FleetRow row;
+  row.shards = shards;
+  row.pipelines = 16 * shards;
+  row.benchmark =
+      "Fleet/" + std::to_string(shards) + "x" + std::to_string(row.pipelines);
+  row.resize_p99_ms = p99_ms(result.resize_latencies);
+  row.resizes = result.resizes;
+  row.trades_committed = result.trades_committed;
+  row.events = result.events;
+  row.events_per_wall_sec =
+      wall > 0 ? static_cast<double>(result.events) / wall : 0;
+
+  if (!result.conserved || result.open_escrow != 0) {
+    std::fprintf(stderr,
+                 "fleet_scale: %s violated conservation (conserved=%d "
+                 "escrow=%zu) — numbers are meaningless\n",
+                 row.benchmark.c_str(), result.conserved ? 1 : 0,
+                 result.open_escrow);
+    std::exit(1);
+  }
+  std::printf("%-12s resize_p99 %8.3f ms  resizes %5llu  trades %3llu  "
+              "events %8llu  (%.0f events/s wall)\n",
+              row.benchmark.c_str(), row.resize_p99_ms,
+              static_cast<unsigned long long>(row.resizes),
+              static_cast<unsigned long long>(row.trades_committed),
+              static_cast<unsigned long long>(row.events),
+              row.events_per_wall_sec);
+  return row;
+}
+
+bool write_json(const std::string& path, const std::vector<FleetRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"ioc.bench.fleet/v1\",\n"
+               "  \"unit\": \"resize_p99_ms\",\n"
+               "  \"threads_available\": %u,\n"
+               "  \"results\": [\n",
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"benchmark\": \"%s\", \"shards\": %zu, "
+                 "\"pipelines\": %zu, \"resize_p99_ms\": %.4f, "
+                 "\"resizes\": %llu, \"trades_committed\": %llu, "
+                 "\"events\": %llu, \"events_per_wall_sec\": %.0f}%s\n",
+                 r.benchmark.c_str(), r.shards, r.pipelines, r.resize_p99_ms,
+                 static_cast<unsigned long long>(r.resizes),
+                 static_cast<unsigned long long>(r.trades_committed),
+                 static_cast<unsigned long long>(r.events),
+                 r.events_per_wall_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu results)\n", path.c_str(), rows.size());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<FleetRow> rows;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                             std::size_t{8}}) {
+    rows.push_back(run_point(shards));
+  }
+  const char* out = std::getenv("IOC_BENCH_FLEET_JSON");
+  return write_json(out != nullptr ? out : "BENCH_fleet.json", rows) ? 0 : 1;
+}

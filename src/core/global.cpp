@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/rounds.h"
 #include "trace/sink.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -55,6 +56,11 @@ void GlobalManager::shutdown() {
   if (ctl_ep_ != ev::kInvalidEndpoint) env_.bus->close(ctl_ep_);
   mon_ep_ = ev::kInvalidEndpoint;
   ctl_ep_ = ev::kInvalidEndpoint;
+}
+
+const std::string& GlobalManager::manager_id() const {
+  static const std::string kId = "gm";
+  return kId;
 }
 
 CmState GlobalManager::cm_state(const std::string& container) const {
@@ -191,51 +197,30 @@ des::Task<ev::Message> GlobalManager::request_cm(Container* c,
   // the request a second time.
   m.token = env_.bus->fresh_token();
   const std::uint64_t token = m.token;
-  ev::Message reply;
-  for (int attempt = 0;; ++attempt) {
-    if (env_.bus->find(ctl_ep_) == nullptr) {
-      // The GM itself died under this round (simulated crash). Stop
-      // quietly; fencing a healthy container for our own failure would
-      // throw away its nodes for nothing.
-      stopping_ = true;
-      reply = ev::Message{};
-      reply.type = ev::kErrClosed;
-      reply.token = token;
-      co_return reply;
-    }
-    ev::Message send = m;  // keep the original for a possible resend
-    reply = co_await env_.bus->request(ctl_ep_, c->manager_endpoint(),
-                                       std::move(send),
-                                       ev::TrafficClass::kControl,
-                                       opt_.cm_timeout);
-    if (reply.type == ev::kErrClosed) {
-      stopping_ = true;
-      co_return reply;
-    }
-    const bool timeout = reply.type == ev::kErrTimeout;
-    const bool unreachable = reply.type == ev::kErrUnreachable;
-    if (!timeout && !unreachable) break;  // a real CM reply
-    trace_marker(c->name(), kMarkTimeout);
-    if (trace::active(env_.trace)) {
-      env_.trace->span("timeout", "control", c->name(), token,
-                       env_.sim->now(), env_.sim->now());
-    }
-    // A vanished CM endpoint never comes back (crash destroys endpoints;
-    // restart does not resurrect them), so retrying only burns the clock.
-    if (unreachable || attempt >= opt_.cm_retries) {
-      ev::Message fenced = co_await escalate_fence(c, token);
-      co_return fenced;
-    }
-    des::SimTime backoff = opt_.cm_backoff << attempt;
-    if (backoff > opt_.cm_backoff_cap) backoff = opt_.cm_backoff_cap;
-    trace_marker(c->name(), kMarkRetry);
-    if (trace::active(env_.trace)) {
-      env_.trace->span("retry", "control", c->name(), token, env_.sim->now(),
-                       env_.sim->now());
-    }
-    IOC_WARN << "GM: " << type << " round to " << c->name() << " timed out; "
-             << "retry " << attempt + 1 << "/" << opt_.cm_retries;
-    co_await des::delay(*env_.sim, backoff);
+  RoundOptions ropt;
+  ropt.timeout = opt_.cm_timeout;
+  ropt.retries = opt_.cm_retries;
+  ropt.backoff = opt_.cm_backoff;
+  ropt.backoff_cap = opt_.cm_backoff_cap;
+  RoundHooks hooks;
+  hooks.peer = c->name();
+  hooks.trace = env_.trace;
+  const std::string cname = c->name();
+  hooks.on_marker = [this, cname](const char* marker) {
+    trace_marker(cname, marker);
+  };
+  ev::Message reply = co_await run_control_round(
+      *env_.bus, ctl_ep_, c->manager_endpoint(), std::move(m), ropt, hooks);
+  if (reply.type == ev::kErrClosed) {
+    // The GM itself died under this round (simulated crash). Stop quietly;
+    // fencing a healthy container for our own failure would throw away its
+    // nodes for nothing.
+    stopping_ = true;
+    co_return reply;
+  }
+  if (reply.type == ev::kErrTimeout || reply.type == ev::kErrUnreachable) {
+    ev::Message fenced = co_await escalate_fence(c, token);
+    co_return fenced;
   }
   int delta = 0;
   if (const auto* done = reply.as<DonePayload>()) delta = done->report.delta;

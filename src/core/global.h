@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/container.h"
+#include "core/manager_if.h"
 #include "core/protocol.h"
 #include "core/protocol_fsm.h"
 #include "core/resources.h"
@@ -23,7 +24,7 @@
 
 namespace ioc::core {
 
-class GlobalManager {
+class GlobalManager : public ManagerIf {
  public:
   struct Options {
     des::SimTime policy_interval = 30 * des::kSecond;
@@ -51,7 +52,7 @@ class GlobalManager {
                 ResourcePool& pool, std::vector<Container*> containers)
       : GlobalManager(std::move(env), spec, pool, std::move(containers),
                       Options{}) {}
-  ~GlobalManager();
+  ~GlobalManager() override;
   GlobalManager(const GlobalManager&) = delete;
   GlobalManager& operator=(const GlobalManager&) = delete;
 
@@ -65,7 +66,7 @@ class GlobalManager {
   /// resilient; StagedPipeline::failover_gm() promotes a fresh manager that
   /// rebuilds its (soft) monitoring state from the live sample stream.
   void fail();
-  bool failed() const { return failed_; }
+  bool failed() const override { return failed_; }
   /// Quiet teardown: stop the policy loop and close the control/monitoring
   /// endpoints so the blocked loops can finish once remaining events drain.
   void shutdown();
@@ -73,11 +74,14 @@ class GlobalManager {
   ev::EndpointId monitor_endpoint() const { return mon_ep_; }
   mon::MonitoringHub& hub() { return hub_; }
   const mon::MonitoringHub& hub() const { return hub_; }
-  ResourcePool& pool() { return pool_; }
+  /// ManagerIf identity: the classic single manager is always "gm" (a
+  /// one-shard fleet promotes it without renaming anything).
+  const std::string& manager_id() const override;
+  ResourcePool& pool() override { return pool_; }
   const std::vector<ManagementEvent>& events() const { return events_; }
   /// Every control message this manager exchanged with a CM, in order; feed
   /// it to lint::check_trace to audit a run offline.
-  const std::vector<ControlTraceEvent>& control_trace() const {
+  const std::vector<ControlTraceEvent>& control_trace() const override {
     return trace_;
   }
   /// Current Fig. 3 protocol state of a container's manager (kIdle when the

@@ -1,0 +1,34 @@
+// The shard-addressable face of a manager. The federation layer (src/fed)
+// treats the classic single GlobalManager and a fed::Shard uniformly: both
+// own a ResourcePool ledger, record a control trace the lint replayer can
+// audit, and report whether they have been failed/fenced. The root
+// coordinator and the fleet-level conservation checks only ever talk to
+// this interface, so a deployment can mix shard kinds (or promote the
+// single-GM topology to a one-shard fleet) without touching them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/resources.h"
+
+namespace ioc::core {
+
+class ManagerIf {
+ public:
+  virtual ~ManagerIf() = default;
+
+  /// Stable identity in the fleet ("gm" for the classic single manager,
+  /// the shard id for a federation shard). Consistent hashing keys on it.
+  virtual const std::string& manager_id() const = 0;
+  /// The staging-node ledger this manager owns.
+  virtual ResourcePool& pool() = 0;
+  /// True once the manager crashed or was fenced by the root.
+  virtual bool failed() const = 0;
+  /// Every control message this manager exchanged, in order; feed it to
+  /// lint::check_trace to audit a run offline.
+  virtual const std::vector<ControlTraceEvent>& control_trace() const = 0;
+};
+
+}  // namespace ioc::core

@@ -38,6 +38,19 @@ inline constexpr const char* kMarkTimeout = "TIMEOUT";
 inline constexpr const char* kMarkRetry = "RETRY";
 inline constexpr const char* kMarkEscalate = "ESCALATE";
 
+// Federation markers (src/fed). FAILOVER/REASSIGN record a shard fenced by
+// the root and a pipeline moved to its consistent-hash successor; the
+// TRADE_* family brackets a cross-shard resource trade (container field =
+// "trade#N"). Every TRADE_BEGIN must reach exactly one of COMMIT / ABORT /
+// FENCE — rule IOC106 flags a trade that never terminates, because an
+// unterminated trade is exactly an escrow that can leak.
+inline constexpr const char* kMarkFailover = "FAILOVER";
+inline constexpr const char* kMarkReassign = "REASSIGN";
+inline constexpr const char* kMarkTradeBegin = "TRADE_BEGIN";
+inline constexpr const char* kMarkTradeCommit = "TRADE_COMMIT";
+inline constexpr const char* kMarkTradeAbort = "TRADE_ABORT";
+inline constexpr const char* kMarkTradeFence = "TRADE_FENCE";
+
 /// Synthetic reply the GM returns from a control round that ended in the
 /// container being fenced (retries exhausted / unreachable). Distinct from
 /// the bus-level ERROR/* types: the pool has already been repaired, so the

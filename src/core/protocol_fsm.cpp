@@ -52,7 +52,13 @@ bool cm_message_is_stateless(const std::string& message) {
 
 bool cm_message_is_marker(const std::string& message) {
   return message == kMarkTimeout || message == kMarkRetry ||
-         message == kMarkEscalate;
+         message == kMarkEscalate || message == kMarkFailover ||
+         message == kMarkReassign || cm_message_is_trade_marker(message);
+}
+
+bool cm_message_is_trade_marker(const std::string& message) {
+  return message == kMarkTradeBegin || message == kMarkTradeCommit ||
+         message == kMarkTradeAbort || message == kMarkTradeFence;
 }
 
 bool ProtocolFsm::advance(const std::string& message) {

@@ -44,6 +44,11 @@ bool cm_message_is_stateless(const std::string& message);
 /// ESCALATE resets the container to offline and settles its node count).
 bool cm_message_is_marker(const std::string& message);
 
+/// The cross-shard trade markers (kMarkTradeBegin .. kMarkTradeFence).
+/// Their container field names a trade ("trade#N"), not a container; the
+/// lint trace checker keeps a separate open-trade ledger for them (IOC106).
+bool cm_message_is_trade_marker(const std::string& message);
+
 /// One container manager's protocol state, advanced message by message.
 class ProtocolFsm {
  public:

@@ -104,6 +104,35 @@ std::pair<std::size_t, std::size_t> ResourcePool::reconcile(
   return {reclaimed, claimed};
 }
 
+void ResourcePool::attach(const std::string& owner,
+                          const std::vector<net::NodeId>& nodes) {
+  // Validate everything before mutating anything (as transfer() does).
+  for (net::NodeId n : nodes) {
+    if (owner_.count(n) > 0) {
+      throw std::invalid_argument("ResourcePool: node " + std::to_string(n) +
+                                  " already present (attach would create "
+                                  "double ownership)");
+    }
+  }
+  for (net::NodeId n : nodes) owner_[n] = owner;
+}
+
+std::vector<net::NodeId> ResourcePool::detach_all(const std::string& owner) {
+  std::vector<net::NodeId> out = nodes_of(owner);
+  for (net::NodeId n : out) owner_.erase(n);
+  return out;
+}
+
+std::vector<net::NodeId> ResourcePool::detach_spares(std::size_t n) {
+  std::vector<net::NodeId> out;
+  for (const auto& [node, o] : owner_) {
+    if (out.size() == n) break;
+    if (o.empty()) out.push_back(node);
+  }
+  for (net::NodeId node : out) owner_.erase(node);
+  return out;
+}
+
 void ResourcePool::transfer(const std::string& from, const std::string& to,
                             const std::vector<net::NodeId>& nodes) {
   // Validate everything before mutating anything, so a bad call cannot leave

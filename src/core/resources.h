@@ -56,6 +56,27 @@ class ResourcePool {
   std::pair<std::size_t, std::size_t> reconcile(
       const std::string& owner, const std::vector<net::NodeId>& actual);
 
+  // --- cross-pool moves (the federation layer) ------------------------------
+  // A fleet runs one ResourcePool per GM shard; failover and cross-shard
+  // trades move nodes between pools. The moving node leaves the source pool
+  // entirely (detach) and enters the destination pool as a new entry
+  // (attach), so each pool's conservation invariant keeps holding locally
+  // while the fleet-level invariant is the sum over pools plus escrow.
+
+  /// Add nodes this pool has never seen, owned by `owner` ("" = spare).
+  /// Throws if any of them is already present (double ownership across the
+  /// shard boundary is the bug this must surface, not absorb).
+  void attach(const std::string& owner, const std::vector<net::NodeId>& nodes);
+  /// Remove every node `owner` holds from the pool entirely (they stop
+  /// counting toward total()). Returns the removed nodes.
+  std::vector<net::NodeId> detach_all(const std::string& owner);
+  /// Remove up to `n` spare nodes from the pool entirely — the escrow
+  /// prepare of a cross-shard trade: the donor sets nodes aside outside any
+  /// ledger until the decision lands. Returns the removed nodes (possibly
+  /// fewer than `n`).
+  std::vector<net::NodeId> detach_spares(std::size_t n);
+  bool contains(net::NodeId n) const { return owner_.count(n) > 0; }
+
   /// True iff every node has exactly one owner entry (the map structure
   /// enforces this) and the per-owner counts add up to the pool size.
   bool conserved() const;

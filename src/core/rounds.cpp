@@ -1,0 +1,56 @@
+#include "core/rounds.h"
+
+#include <utility>
+
+#include "core/protocol.h"
+#include "util/log.h"
+
+namespace ioc::core {
+
+des::Task<ev::Message> run_control_round(ev::Bus& bus, ev::EndpointId from,
+                                         ev::EndpointId to, ev::Message m,
+                                         const RoundOptions& opt,
+                                         const RoundHooks& hooks) {
+  const std::string type = m.type;
+  const std::uint64_t token = m.token;
+  auto& sim = bus.sim();
+  ev::Message reply;
+  for (int attempt = 0;; ++attempt) {
+    if (bus.find(from) == nullptr) {
+      // The coordinator itself died under this round (simulated crash).
+      // Stop quietly; fencing a healthy peer for our own failure would
+      // throw away its nodes for nothing.
+      reply = ev::Message{};
+      reply.type = ev::kErrClosed;
+      reply.token = token;
+      co_return reply;
+    }
+    ev::Message send = m;  // keep the original for a possible resend
+    reply = co_await bus.request(from, to, std::move(send),
+                                 ev::TrafficClass::kControl, opt.timeout);
+    if (reply.type == ev::kErrClosed) co_return reply;
+    const bool timeout = reply.type == ev::kErrTimeout;
+    const bool unreachable = reply.type == ev::kErrUnreachable;
+    if (!timeout && !unreachable) co_return reply;  // a real reply
+    if (hooks.on_marker) hooks.on_marker(kMarkTimeout);
+    if (trace::active(hooks.trace)) {
+      hooks.trace->span("timeout", "control", hooks.peer, token, sim.now(),
+                        sim.now());
+    }
+    // A vanished endpoint never comes back (crash destroys endpoints;
+    // restart does not resurrect them), so retrying only burns the clock.
+    if (unreachable || attempt >= opt.retries) co_return reply;
+    des::SimTime backoff = opt.backoff << attempt;
+    if (backoff > opt.backoff_cap) backoff = opt.backoff_cap;
+    if (hooks.on_marker) hooks.on_marker(kMarkRetry);
+    if (trace::active(hooks.trace)) {
+      hooks.trace->span("retry", "control", hooks.peer, token, sim.now(),
+                        sim.now());
+    }
+    IOC_WARN << hooks.peer << ": " << type << " round timed out; retry "
+             << attempt + 1 << "/" << opt.retries;
+    co_await des::delay(sim, backoff);
+  }
+}
+
+}  // namespace ioc::core

@@ -1,0 +1,56 @@
+// The control-round retry ladder, extracted from GlobalManager::request_cm
+// so every coordinator in the tree — the single GM, a federation shard
+// driving its pipelines, the federation root driving a cross-shard trade —
+// climbs the exact same ladder: one token for the whole round (the
+// receiver-side reply cache recognizes a resend and replays its answer),
+// TIMEOUT/RETRY markers and spans as the ladder climbs, capped exponential
+// backoff between attempts, and a terminal error the caller escalates on.
+//
+// The driver never escalates itself: fencing a container, a pipeline, or a
+// trade means different repairs (pool reclaim, failover, escrow recovery),
+// so the caller keeps that rung. Return values:
+//   * a real reply            — the round completed;
+//   * ev::kErrClosed          — the caller's own endpoint died mid-round
+//                               (the coordinator crashed, not the peer);
+//   * ev::kErrTimeout /
+//     ev::kErrUnreachable     — retries exhausted or the peer's endpoint is
+//                               gone; the caller escalates/fences.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "des/process.h"
+#include "des/time.h"
+#include "ev/bus.h"
+#include "trace/sink.h"
+
+namespace ioc::core {
+
+struct RoundOptions {
+  /// Deadline for one attempt. 0 waits forever (no ladder: the first reply,
+  /// whenever it comes, ends the round).
+  des::SimTime timeout = 0;
+  /// Resend attempts after the first send.
+  int retries = 3;
+  des::SimTime backoff = 500 * des::kMillisecond;
+  des::SimTime backoff_cap = 4 * des::kSecond;
+};
+
+/// Caller-side observers: `on_marker` receives kMarkTimeout / kMarkRetry in
+/// ladder order (the caller appends them to its control trace); spans go to
+/// `trace` labeled with `peer`.
+struct RoundHooks {
+  std::string peer;
+  std::function<void(const char* marker)> on_marker;
+  trace::TraceSink* trace = nullptr;
+};
+
+/// Drive one control round from `from` to `to`. `m.token` must already be
+/// assigned (one token for the whole round, retries included).
+des::Task<ev::Message> run_control_round(ev::Bus& bus, ev::EndpointId from,
+                                         ev::EndpointId to, ev::Message m,
+                                         const RoundOptions& opt,
+                                         const RoundHooks& hooks);
+
+}  // namespace ioc::core

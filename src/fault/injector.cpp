@@ -131,4 +131,20 @@ ev::FaultHook::Decision Injector::on_post(net::NodeId src, net::NodeId dst,
   return d;
 }
 
+void Injector::publish(trace::MetricsRegistry& reg) const {
+  auto put = [&](const char* kind, std::uint64_t v) {
+    reg.counter("ioc_fault_events_total",
+                std::string("kind=\"") + kind + "\"",
+                "Injected control-plane faults by kind")
+        .inc(static_cast<double>(v));
+  };
+  put("dropped", stats_.dropped);
+  put("duplicated", stats_.duplicated);
+  put("delayed", stats_.delayed);
+  put("partition_drop", stats_.partition_drops);
+  put("crash_drop", stats_.crash_drops);
+  put("crash", stats_.crashes);
+  put("restart", stats_.restarts);
+}
+
 }  // namespace ioc::fault

@@ -28,6 +28,7 @@
 #include "des/simulator.h"
 #include "ev/bus.h"
 #include "net/cluster.h"
+#include "trace/metrics.h"
 #include "trace/sink.h"
 #include "util/rng.h"
 
@@ -91,6 +92,12 @@ class Injector : public ev::FaultHook {
     std::uint64_t restarts = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Snapshot the fault counters into a metrics registry as
+  /// ioc_fault_events_total{kind="..."} — the chaos timeline becomes
+  /// scrapeable next to the control-plane health it batters (a
+  /// MonitoringHub's registry, or any standalone one).
+  void publish(trace::MetricsRegistry& reg) const;
 
   Decision on_post(net::NodeId src, net::NodeId dst, const ev::Message& m,
                    ev::TrafficClass cls) override;

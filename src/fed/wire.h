@@ -1,0 +1,42 @@
+// On-the-wire vocabulary of the federation layer. Shard <-> pipeline resize
+// rounds reuse the Fig. 3 protocol of core/protocol.h verbatim; the shard
+// <-> root plane adds heartbeats, trade requests, and the D2T trade rounds
+// of txn/d2t_model.h carrying the payloads below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/cluster.h"
+
+namespace ioc::fed {
+
+/// Shard -> root, monitoring class, fire-and-forget liveness + load report.
+/// The type string is core::kMsgHeartbeat.
+struct HeartbeatWire {
+  std::string shard;
+  std::uint32_t spares = 0;  ///< spare staging nodes in the shard's pool
+};
+
+/// Shard -> root, control class, fire-and-forget: "my pool ran dry, find me
+/// a donor". The root serializes these into cross-shard D2T trades.
+inline constexpr const char* kMsgTradeReq = "TRADE_REQ";
+struct TradeRequestWire {
+  std::string recipient;     ///< requesting shard id
+  std::uint32_t count = 0;   ///< nodes wanted (the root may trade fewer)
+};
+
+/// Root <-> shard trade-round payload (txn::kBeginMsg / kVoteMsg /
+/// kCommitMsg / kAbortMsg requests and their replies). The donor's VOTE_YES
+/// reply carries the escrowed nodes; the COMMIT request echoes them so the
+/// recipient knows what to attach.
+struct TradeWire {
+  std::uint64_t txn = 0;
+  std::string donor;
+  std::string recipient;
+  std::uint32_t count = 0;
+  std::vector<net::NodeId> nodes;
+};
+
+}  // namespace ioc::fed

@@ -379,6 +379,9 @@ const std::vector<Rule>& rules() {
       {{"IOC105", Severity::kError, "",
         "control round timed out with no matching RETRY or ESCALATE"},
        nullptr},
+      {{"IOC106", Severity::kError, "",
+        "cross-shard trade begun but never committed, aborted, or fenced"},
+       nullptr},
       // Static feasibility analysis (src/lint/feasibility.cpp): can the
       // management plane ever satisfy the declared SLAs?
       {{"IOC201", Severity::kError, "nodes",

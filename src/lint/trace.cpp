@@ -33,8 +33,42 @@ LintResult check_trace(const core::PipelineSpec& spec,
   // Containers with a TIMEOUT marker not yet answered by a RETRY or an
   // ESCALATE, remembered with the event index of the dangling TIMEOUT.
   std::map<std::string, std::size_t> dangling_timeout;
+  // Cross-shard trades (container field "trade#N") currently between their
+  // TRADE_BEGIN and terminal marker, with the index of the TRADE_BEGIN; and
+  // every trade id ever seen, so the trades' TIMEOUT/RETRY ladder markers
+  // are routed to the dangling-timeout bookkeeping instead of IOC104.
+  std::map<std::string, std::size_t> open_trades;
+  std::set<std::string> trade_ids;
   for (const auto& ev : trace) {
     ++index;
+    if (core::cm_message_is_trade_marker(ev.type)) {
+      // A trade is a bracket: TRADE_BEGIN opens it, exactly one of
+      // COMMIT / ABORT / FENCE closes it (and answers any timeout the
+      // trade's rounds left dangling — a fence IS the recovery).
+      trade_ids.insert(ev.container);
+      if (ev.type == core::kMarkTradeBegin) {
+        open_trades.emplace(ev.container, index);
+      } else {
+        open_trades.erase(ev.container);
+        dangling_timeout.erase(ev.container);
+      }
+      continue;
+    }
+    if (trade_ids.count(ev.container) > 0) {
+      // Retry-ladder markers of a trade's rounds; same TIMEOUT discipline
+      // as container rounds, settled by the trade's terminal marker.
+      if (ev.type == core::kMarkTimeout) {
+        dangling_timeout.emplace(ev.container, index);
+      } else {
+        dangling_timeout.erase(ev.container);
+      }
+      continue;
+    }
+    if (ev.type == core::kMarkFailover || ev.type == core::kMarkReassign) {
+      // Fleet annotations: the container field names a shard or a pipeline
+      // of the federation, not a spec container.
+      continue;
+    }
     auto it = fsm.find(ev.container);
     if (it == fsm.end()) {
       if (unknown_reported.insert(ev.container).second) {
@@ -103,6 +137,11 @@ LintResult check_trace(const core::PipelineSpec& spec,
     out.add("IOC105", Severity::kError, name, "", static_cast<int>(at),
             "control round timed out with no matching RETRY or ESCALATE — "
             "the manager gave up on the round without recovering it");
+  }
+  for (const auto& [name, at] : open_trades) {
+    out.add("IOC106", Severity::kError, name, "", static_cast<int>(at),
+            "cross-shard trade begun but never committed, aborted, or "
+            "fenced — its escrowed nodes are counted by no ledger");
   }
   out.sort();
   return out;

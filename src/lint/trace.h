@@ -25,6 +25,11 @@ namespace ioc::lint {
 ///           width, or total widths above the staging allocation)
 ///   IOC104  trace references a container the spec does not declare
 ///   IOC105  control round timed out with no matching RETRY or ESCALATE
+///   IOC106  cross-shard trade begun but never committed, aborted, or
+///           fenced (an unterminated trade is a leaked escrow)
+/// Federation traces are understood too: FAILOVER/REASSIGN markers are
+/// skipped, and the TRADE_* family (container field "trade#N") is checked
+/// as a bracket — every TRADE_BEGIN must reach exactly one terminal.
 LintResult check_trace(const core::PipelineSpec& spec,
                        const std::vector<core::ControlTraceEvent>& trace);
 

@@ -55,6 +55,9 @@ class MonitoringHub {
   /// ioc_container_latency_seconds{container=...},
   /// ioc_end_to_end_seconds, ioc_queue_depth{container=...}.
   const trace::MetricsRegistry& metrics() const { return metrics_; }
+  /// Mutable registry, so co-located subsystems (fault::Injector::publish,
+  /// fed::Fleet::publish_metrics) can export into the same scrape.
+  trace::MetricsRegistry& metrics() { return metrics_; }
   /// Prometheus text-format snapshot of those aggregates.
   std::string prometheus() const { return metrics_.to_prometheus(); }
 

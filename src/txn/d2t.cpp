@@ -80,7 +80,8 @@ des::Process TxnHarness::member_loop(std::size_t index) {
     } else if (msg->type == kVoteMsg) {
       if (me.dies_at <= Phase::kVote) me.dead = true;
       if (me.dead) continue;
-      if (d2t_txn_of(me.decided_token) >= d2t_txn_of(msg->token)) {
+      const auto va = me.guard.classify_vote(msg->token);
+      if (va == D2tMemberGuard::VoteAction::kStaleNo) {
         // A delayed vote request for a transaction that already decided
         // (tokens encode txn*10 + phase): preparing now would reserve state
         // nobody will ever commit or roll back. Vote no without preparing.
@@ -91,18 +92,17 @@ des::Process TxnHarness::member_loop(std::size_t index) {
         continue;
       }
       bool yes;
-      if (me.voted_token == msg->token) {
+      if (va == D2tMemberGuard::VoteAction::kReplay) {
         // Duplicate/retried vote request: replay the recorded vote instead
         // of running prepare() a second time (at-most-once).
-        yes = me.voted_yes;
+        yes = me.guard.voted_yes;
       } else {
         yes = true;
         if (me.op != nullptr) {
           yes = me.op->prepare();
           me.prepared = yes;
         }
-        me.voted_token = msg->token;
-        me.voted_yes = yes;
+        me.guard.record_vote(msg->token, yes);
       }
       ev::Message reply;
       reply.type = yes ? kVoteYesReply : kVoteNoReply;
@@ -111,25 +111,14 @@ des::Process TxnHarness::member_loop(std::size_t index) {
     } else if (d2t_is_decision(msg->type)) {
       if (me.dies_at <= Phase::kDecide) me.dead = true;
       if (me.dead) continue;
-      if (d2t_txn_of(me.voted_token) != d2t_txn_of(msg->token)) {
-        // Decision for a transaction this member never voted in — a delayed
-        // duplicate from an earlier trade, or the member missed the vote
-        // round entirely. Applying it would commit/abort the WRONG trade's
-        // reservation; ack without touching state (the coordinator's
-        // recovery pass applies the logged decision where needed).
-        ev::Message reply;
-        reply.type = kFinalReply;
-        reply.token = msg->token;
-        co_await bus_->post(my_ep, msg->from, std::move(reply));
-        continue;
-      }
-      if (me.decided_token != msg->token) {
+      // The guard folds both rejection cases (decision for a transaction
+      // this member never voted in — applying it would commit/abort the
+      // WRONG trade's reservation — and a duplicate of an applied decision)
+      // into kAckOnly: ack without touching state; the coordinator's
+      // recovery pass applies the logged decision where actually needed.
+      if (me.guard.classify_decision(msg->token) ==
+          D2tMemberGuard::DecideAction::kApply) {
         // First sight of this decision: apply it. Duplicates only re-ack.
-        // The guards are O(1) scalars, not per-txn maps: token monotonicity
-        // (d2t_model.h) means the latest voted/decided token subsumes all
-        // history, so a soak of millions of transactions keeps member state
-        // constant-size. decided_token can only move forward — the vote
-        // check above already rejected anything from an older transaction.
         if (me.op != nullptr) {
           if (msg->type == kCommitMsg) {
             me.op->commit();
@@ -139,7 +128,7 @@ des::Process TxnHarness::member_loop(std::size_t index) {
         }
         me.prepared = false;
         me.finished = true;
-        me.decided_token = std::max(me.decided_token, msg->token);
+        me.guard.record_decision(msg->token);
       }
       ev::Message reply;
       reply.type = kFinalReply;
@@ -354,10 +343,10 @@ des::Task<TxnResult> TxnHarness::run() {
       }
       m.prepared = false;
       m.finished = true;
-      // Monotone by construction (token_base grows every transaction), but
-      // keep the forward-only discipline explicit: a decided_token that
+      // Monotone by construction (token_base grows every transaction); the
+      // guard keeps the forward-only discipline — a decided_token that
       // regressed would re-open an older transaction's at-most-once window.
-      m.decided_token = std::max(m.decided_token, token_base + 2);
+      m.guard.record_decision(token_base + 2);
     }
   }
 

@@ -30,6 +30,7 @@
 #include "des/time.h"
 #include "ev/bus.h"
 #include "trace/sink.h"
+#include "txn/d2t_model.h"
 
 namespace ioc::txn {
 
@@ -109,11 +110,10 @@ class TxnHarness {
     bool dead = false;
     bool prepared = false;
     bool finished = false;  ///< applied commit/abort itself
-    // At-most-once guards: a retried or duplicated round message must not
-    // re-run prepare/commit/abort; the member just re-sends its reply.
-    std::uint64_t voted_token = 0;
-    bool voted_yes = false;
-    std::uint64_t decided_token = 0;
+    /// At-most-once guards (shared with every other D2T participant role,
+    /// see d2t_model.h): a retried or duplicated round message must not
+    /// re-run prepare/commit/abort; the member just re-sends its reply.
+    D2tMemberGuard guard;
   };
   struct SubCoord {
     ev::EndpointId ep = ev::kInvalidEndpoint;

@@ -70,9 +70,50 @@ inline std::uint64_t d2t_token(std::uint64_t txn, std::uint64_t phase) {
   return kTokenFloor + kTokensPerTxn * txn + phase;
 }
 
-/// Transaction id a round token belongs to.
+/// Transaction id a round token belongs to. Tokens below the floor (the
+/// guards' zero-initialized state, control-round tokens) map to txn 0,
+/// below every real 1-based transaction — so "nothing decided yet" never
+/// classifies as stale against a live transaction.
 inline std::uint64_t d2t_txn_of(std::uint64_t token) {
-  return token / kTokensPerTxn;
+  if (token < kTokenFloor) return 0;
+  return (token - kTokenFloor) / kTokensPerTxn;
 }
+
+/// One participant's at-most-once state, extracted from the TxnHarness
+/// member loop so every D2T participant role — a trade member inside the
+/// harness, a federation shard answering the root's cross-shard trade
+/// rounds — classifies retried, duplicated, and stale round traffic
+/// identically. The guards are O(1) scalars, not per-txn maps: token
+/// monotonicity (above) means the latest voted/decided token subsumes all
+/// history, so a soak of millions of transactions keeps participant state
+/// constant-size.
+struct D2tMemberGuard {
+  std::uint64_t voted_token = 0;
+  bool voted_yes = false;
+  std::uint64_t decided_token = 0;
+
+  enum class VoteAction {
+    kStaleNo,  ///< vote for a txn that already decided: NO, do not prepare
+    kReplay,   ///< retried/duplicated vote: replay the recorded answer
+    kFresh,    ///< first sight: run prepare, then record_vote()
+  };
+  VoteAction classify_vote(std::uint64_t token) const;
+  void record_vote(std::uint64_t token, bool yes);
+
+  enum class DecideAction {
+    kAckOnly,  ///< wrong txn (never voted in it) or duplicate: re-ack only
+    kApply,    ///< first sight of this decision: apply, then record
+  };
+  DecideAction classify_decision(std::uint64_t token) const;
+  /// Forward-only: also used by coordinator recovery when it applies a
+  /// logged decision on a silent participant's behalf.
+  void record_decision(std::uint64_t token);
+
+  /// True iff this participant's recorded decision belongs to `txn` — the
+  /// coordinator-side recovery test for "did the member apply it itself".
+  bool decided_txn(std::uint64_t txn) const {
+    return d2t_txn_of(decided_token) == txn;
+  }
+};
 
 }  // namespace ioc::txn

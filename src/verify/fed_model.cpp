@@ -1,0 +1,451 @@
+#include "verify/fed_model.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+namespace ioc::verify {
+
+namespace {
+
+constexpr char kTradeId[] = "trade#1";
+
+const char* member_name(std::size_t m) {
+  return m == 0 ? "donor" : "recipient";
+}
+
+const char* round_name(std::size_t r) {
+  return r == kVoteRound ? "vote" : "decide";
+}
+
+}  // namespace
+
+const char* fed_action_name(FedActionKind k) {
+  switch (k) {
+    case FedActionKind::kStart:      return "start-trade";
+    case FedActionKind::kDeliverReq: return "deliver-req";
+    case FedActionKind::kDropReq:    return "drop-req";
+    case FedActionKind::kDupReq:     return "dup-req";
+    case FedActionKind::kDeliverRep: return "deliver-rep";
+    case FedActionKind::kDropRep:    return "drop-rep";
+    case FedActionKind::kDupRep:     return "dup-rep";
+    case FedActionKind::kTimeout:    return "gather-timeout";
+    case FedActionKind::kCrash:      return "crash";
+  }
+  return "?";
+}
+
+std::string FedState::encode() const {
+  std::string out;
+  out.reserve(32);
+  const auto put = [&out](int v) { out.push_back(static_cast<char>(v)); };
+  put(donor_spares);
+  put(recipient_spares);
+  put(escrow);
+  put(phase);
+  put((commit ? 1 : 0) | (fenced ? 2 : 0));
+  put(retries);
+  for (std::size_t m = 0; m < kFedMembers; ++m) {
+    put((crashed[m] ? 1 : 0) | (voted[m] ? 2 : 0) | (voted_yes[m] ? 4 : 0) |
+        (applied[m] ? 8 : 0) | (answered[m] ? 16 : 0));
+    for (std::size_t r = 0; r < kFedRounds; ++r) {
+      put(req_in[m][r]);
+      put(rep_in[m][r]);
+    }
+  }
+  put(drops);
+  put(dups);
+  put(crashes);
+  return out;
+}
+
+FedState FedModel::initial() const {
+  FedState s;
+  s.donor_spares = static_cast<std::int8_t>(scenario_.donor_spares);
+  s.recipient_spares = static_cast<std::int8_t>(scenario_.recipient_spares);
+  s.phase = static_cast<std::uint8_t>(FedPhase::kIdle);
+  return s;
+}
+
+void FedModel::emit(FedStep* step, const char* type, int delta) const {
+  if (step == nullptr) return;
+  core::ControlTraceEvent ev;
+  ev.container = kTradeId;
+  ev.type = type;
+  ev.to_cm = false;
+  ev.delta = delta;
+  step->events.push_back(std::move(ev));
+}
+
+void FedModel::enabled(const FedState& s,
+                       std::vector<FedAction>* out) const {
+  out->clear();
+  const auto phase = static_cast<FedPhase>(s.phase);
+  if (phase == FedPhase::kIdle) {
+    out->push_back({FedActionKind::kStart, 0});
+    return;
+  }
+  // Wire actions: every in-flight copy can be delivered, and dropped or
+  // amplified while budget remains.
+  for (std::size_t m = 0; m < kFedMembers; ++m) {
+    for (std::size_t r = 0; r < kFedRounds; ++r) {
+      const auto t = static_cast<std::uint8_t>(m * kFedRounds + r);
+      if (s.req_in[m][r] > 0) {
+        out->push_back({FedActionKind::kDeliverReq, t});
+        if (s.drops < scenario_.faults.drops)
+          out->push_back({FedActionKind::kDropReq, t});
+        if (s.dups < scenario_.faults.dups && s.req_in[m][r] < 2)
+          out->push_back({FedActionKind::kDupReq, t});
+      }
+      if (s.rep_in[m][r] > 0) {
+        out->push_back({FedActionKind::kDeliverRep, t});
+        if (s.drops < scenario_.faults.drops)
+          out->push_back({FedActionKind::kDropRep, t});
+        if (s.dups < scenario_.faults.dups && s.rep_in[m][r] < 2)
+          out->push_back({FedActionKind::kDupRep, t});
+      }
+    }
+  }
+  if (phase == FedPhase::kVote || phase == FedPhase::kDecide) {
+    // The gather deadline fires only for a member with nothing in flight —
+    // message lost or member dead — modeling deadlines long against the
+    // wire latency (same discipline as verify/model.h).
+    const std::size_t r =
+        phase == FedPhase::kVote ? kVoteRound : kDecideRound;
+    for (std::size_t m = 0; m < kFedMembers; ++m) {
+      if (!s.answered[m] && s.req_in[m][r] == 0 && s.rep_in[m][r] == 0) {
+        out->push_back({FedActionKind::kTimeout, 0});
+        break;
+      }
+    }
+    for (std::size_t m = 0; m < kFedMembers; ++m) {
+      if (!s.crashed[m] && s.crashes < scenario_.faults.crashes)
+        out->push_back({FedActionKind::kCrash, static_cast<std::uint8_t>(m)});
+    }
+  }
+}
+
+void FedModel::settle(FedState& st, FedStep* step) const {
+  // The root's in-process recovery pass (fed::Root::run_trade): repair the
+  // ledger side of every member that never applied the decision, mark both
+  // settled so late deliveries are recognized as duplicates, and emit the
+  // trade's terminal marker. Under the leak_escrow mutation a fenced trade
+  // skips the donor-side repair and the marker — the seeded IOC106 bug.
+  const bool leak = scenario_.leak_escrow && st.fenced;
+  const int count = scenario_.count;
+  for (std::size_t m = 0; m < kFedMembers; ++m) {
+    if (!st.applied[m]) {
+      const bool skip = leak && m == 0;
+      if (!skip) {
+        if (st.commit && m == 1) {
+          st.escrow = static_cast<std::int8_t>(st.escrow - count);
+          st.recipient_spares =
+              static_cast<std::int8_t>(st.recipient_spares + count);
+        } else if (!st.commit && m == 0 && st.voted_yes[0]) {
+          st.escrow = static_cast<std::int8_t>(st.escrow - count);
+          st.donor_spares = static_cast<std::int8_t>(st.donor_spares + count);
+        }
+      }
+    }
+    st.applied[m] = true;
+  }
+  if (!leak) {
+    emit(step,
+         st.fenced ? core::kMarkTradeFence
+                   : (st.commit ? core::kMarkTradeCommit
+                                : core::kMarkTradeAbort),
+         st.commit && !st.fenced ? scenario_.count : 0);
+  }
+  st.phase = static_cast<std::uint8_t>(FedPhase::kDone);
+}
+
+FedState FedModel::apply(const FedState& s, const FedAction& a,
+                         FedStep* step) const {
+  FedState st = s;
+  const std::size_t m = a.target / kFedRounds;
+  const std::size_t r = a.target % kFedRounds;
+  const int count = scenario_.count;
+  std::ostringstream label;
+
+  switch (a.kind) {
+    case FedActionKind::kStart: {
+      st.phase = static_cast<std::uint8_t>(FedPhase::kVote);
+      st.retries = static_cast<std::int8_t>(scenario_.retries);
+      for (std::size_t i = 0; i < kFedMembers; ++i)
+        st.req_in[i][kVoteRound] = 1;
+      emit(step, core::kMarkTradeBegin, count);
+      label << "root opens the trade, vote requests to both shards";
+      break;
+    }
+    case FedActionKind::kDeliverReq:
+    case FedActionKind::kDupReq: {
+      if (a.kind == FedActionKind::kDeliverReq) {
+        --st.req_in[m][r];
+      } else {
+        ++st.dups;  // delivers one copy, leaves the original in flight
+      }
+      label << "deliver " << round_name(r) << " request to "
+            << member_name(m);
+      if (a.kind == FedActionKind::kDupReq) label << " (duplicate)";
+      if (st.crashed[m]) {
+        label << " [lost: crashed]";
+        break;
+      }
+      if (r == kVoteRound) {
+        if (st.applied[m]) {
+          // Decision already recorded for this txn: the member guard
+          // refuses the stale vote (classify_vote kStaleNo) — NO reply,
+          // and crucially no new escrow.
+          ++st.rep_in[m][kVoteRound];
+          label << " -> stale NO";
+        } else if (st.voted[m]) {
+          ++st.rep_in[m][kVoteRound];  // replay the cached reply
+          label << " -> replayed vote";
+        } else {
+          st.voted[m] = true;
+          if (m == 0) {
+            if (st.donor_spares >= count) {
+              st.donor_spares =
+                  static_cast<std::int8_t>(st.donor_spares - count);
+              st.escrow = static_cast<std::int8_t>(st.escrow + count);
+              st.voted_yes[0] = true;
+              label << " -> YES, " << count << " node(s) escrowed";
+            } else {
+              label << " -> NO (pool dry)";
+            }
+          } else {
+            st.voted_yes[1] = true;
+            label << " -> YES";
+          }
+          ++st.rep_in[m][kVoteRound];
+        }
+      } else {
+        if (!st.applied[m]) {
+          st.applied[m] = true;
+          if (st.commit && m == 1) {
+            st.escrow = static_cast<std::int8_t>(st.escrow - count);
+            st.recipient_spares =
+                static_cast<std::int8_t>(st.recipient_spares + count);
+          } else if (!st.commit && m == 0 && st.voted_yes[0]) {
+            st.escrow = static_cast<std::int8_t>(st.escrow - count);
+            st.donor_spares =
+                static_cast<std::int8_t>(st.donor_spares + count);
+          }
+          label << " -> applied " << (st.commit ? "COMMIT" : "ABORT");
+        } else {
+          label << " -> duplicate decision, ack only";
+        }
+        ++st.rep_in[m][kDecideRound];
+      }
+      break;
+    }
+    case FedActionKind::kDropReq: {
+      --st.req_in[m][r];
+      ++st.drops;
+      label << "drop " << round_name(r) << " request to " << member_name(m);
+      break;
+    }
+    case FedActionKind::kDeliverRep:
+    case FedActionKind::kDupRep: {
+      if (a.kind == FedActionKind::kDeliverRep) {
+        --st.rep_in[m][r];
+      } else {
+        ++st.dups;
+      }
+      label << "deliver " << round_name(r) << " reply from "
+            << member_name(m);
+      if (a.kind == FedActionKind::kDupRep) label << " (duplicate)";
+      const auto phase = static_cast<FedPhase>(st.phase);
+      const std::size_t gather_round =
+          phase == FedPhase::kVote ? kVoteRound : kDecideRound;
+      const bool gathering =
+          phase == FedPhase::kVote || phase == FedPhase::kDecide;
+      if (!gathering || r != gather_round || st.answered[m]) {
+        label << " [stale, ignored]";
+        break;
+      }
+      st.answered[m] = true;
+      if (st.answered[0] && st.answered[1]) {
+        if (phase == FedPhase::kVote) {
+          st.commit = st.voted_yes[0] && st.voted_yes[1];
+          st.phase = static_cast<std::uint8_t>(FedPhase::kDecide);
+          st.retries = static_cast<std::int8_t>(scenario_.retries);
+          st.answered[0] = st.answered[1] = false;
+          for (std::size_t i = 0; i < kFedMembers; ++i)
+            st.req_in[i][kDecideRound] = 1;
+          label << "; votes in, decision "
+                << (st.commit ? "COMMIT" : "ABORT")
+                << ", decide requests out";
+        } else {
+          label << "; decide acks in, trade settles";
+          settle(st, step);
+        }
+      }
+      break;
+    }
+    case FedActionKind::kDropRep: {
+      --st.rep_in[m][r];
+      ++st.drops;
+      label << "drop " << round_name(r) << " reply from " << member_name(m);
+      break;
+    }
+    case FedActionKind::kTimeout: {
+      const auto phase = static_cast<FedPhase>(st.phase);
+      const std::size_t gr =
+          phase == FedPhase::kVote ? kVoteRound : kDecideRound;
+      emit(step, core::kMarkTimeout, 0);
+      if (st.retries > 0) {
+        --st.retries;
+        emit(step, core::kMarkRetry, 0);
+        label << round_name(gr) << " gather timeout, resend to unanswered";
+        for (std::size_t i = 0; i < kFedMembers; ++i) {
+          if (!st.answered[i] && st.req_in[i][gr] == 0 &&
+              st.rep_in[i][gr] == 0) {
+            st.req_in[i][gr] = 1;
+          }
+        }
+      } else {
+        label << round_name(gr)
+              << " gather exhausted its ladder, trade fenced";
+        st.fenced = true;
+        if (phase == FedPhase::kVote) st.commit = false;
+        settle(st, step);
+      }
+      break;
+    }
+    case FedActionKind::kCrash: {
+      st.crashed[a.target] = true;
+      ++st.crashes;
+      label << "crash " << member_name(a.target) << " shard";
+      break;
+    }
+  }
+
+  if (step != nullptr) {
+    step->action = a;
+    step->label = label.str();
+  }
+  return st;
+}
+
+std::optional<Violation> FedModel::check(const FedState& s) const {
+  const int total =
+      s.donor_spares + s.recipient_spares + s.escrow;
+  if (total != scenario_.total_nodes() || s.donor_spares < 0 ||
+      s.recipient_spares < 0 || s.escrow < 0) {
+    std::ostringstream msg;
+    msg << "ledger off: donor=" << int(s.donor_spares)
+        << " recipient=" << int(s.recipient_spares)
+        << " escrow=" << int(s.escrow) << ", expected total "
+        << scenario_.total_nodes();
+    return Violation{Property::kConservation, msg.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> FedModel::stuck(const FedState& s) const {
+  if (static_cast<FedPhase>(s.phase) != FedPhase::kDone) {
+    return Violation{Property::kStuck,
+                     "trade quiesced without reaching a decision"};
+  }
+  if (s.escrow != 0) {
+    std::ostringstream msg;
+    msg << int(s.escrow)
+        << " node(s) left in escrow at quiescence — counted by no "
+           "shard's ledger (the IOC106 invariant)";
+    return Violation{Property::kOrphanEscrow, msg.str()};
+  }
+  return std::nullopt;
+}
+
+FedCheckReport run_fed_check(const FedModel& model, std::size_t max_states) {
+  const auto t0 = std::chrono::steady_clock::now();
+  FedCheckReport rep;
+
+  std::unordered_map<std::string, std::uint32_t> visited;
+  std::vector<std::pair<std::uint32_t, FedAction>> parent;
+  std::deque<std::pair<FedState, std::size_t>> frontier;  // state, depth
+
+  const FedState init = model.initial();
+  visited.emplace(init.encode(), 0);
+  parent.push_back({0, FedAction{}});
+  frontier.push_back({init, 0});
+  rep.states = 1;
+
+  std::vector<FedAction> acts;
+  std::uint32_t id_of_front = 0;
+  std::optional<std::uint32_t> bad_id;
+  // BFS: ids are assigned in discovery order, and the frontier pops in the
+  // same order, so the front's id is a running counter.
+  while (!frontier.empty()) {
+    const auto [s, depth] = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t sid = id_of_front++;
+    rep.depth = std::max(rep.depth, depth);
+
+    if (auto v = model.check(s)) {
+      rep.violation = v;
+      bad_id = sid;
+      break;
+    }
+    model.enabled(s, &acts);
+    if (acts.empty()) {
+      ++rep.terminals;
+      if (auto v = model.stuck(s)) {
+        rep.violation = v;
+        bad_id = sid;
+        break;
+      }
+      continue;
+    }
+    for (const FedAction& a : acts) {
+      const FedState next = model.apply(s, a, nullptr);
+      ++rep.edges;
+      const auto [it, inserted] =
+          visited.emplace(next.encode(),
+                          static_cast<std::uint32_t>(parent.size()));
+      if (!inserted) continue;
+      parent.push_back({sid, a});
+      frontier.push_back({next, depth + 1});
+      ++rep.states;
+      if (rep.states >= max_states) {
+        rep.capped = true;
+        frontier.clear();
+        break;
+      }
+    }
+    if (rep.capped) break;
+  }
+
+  if (bad_id.has_value()) {
+    std::vector<FedAction> path;
+    std::uint32_t id = *bad_id;
+    while (id != 0) {
+      path.push_back(parent[id].second);
+      id = parent[id].first;
+    }
+    std::reverse(path.begin(), path.end());
+    FedState s = model.initial();
+    for (const FedAction& a : path) {
+      FedStep step;
+      s = model.apply(s, a, &step);
+      rep.counterexample.push_back(std::move(step));
+    }
+    for (auto& step : rep.counterexample) {
+      for (auto& ev : step.events) {
+        ev.at = static_cast<des::SimTime>(rep.trace.size() + 1);
+        rep.trace.push_back(ev);
+      }
+    }
+  }
+
+  rep.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return rep;
+}
+
+}  // namespace ioc::verify

@@ -1,0 +1,167 @@
+// The federation verification model: a finite abstraction of one
+// cross-shard resource trade — two shards (member 0 the donor, member 1
+// the recipient) and the thin root coordinator of src/fed/root.cpp —
+// explored exhaustively by its own small BFS (fed_check).
+//
+// The model follows the runtime's recovery contract exactly:
+//
+//   * the donor's VOTE_YES moves `count` nodes from its spare pool into
+//     escrow; only a decision moves them onward (recipient pool on commit,
+//     back to the donor on abort);
+//   * vote and decide are gather rounds with bounded retries; a round that
+//     exhausts its ladder fences the trade, and the root then settles both
+//     members in-process — repairing the ledger side of any member that
+//     never applied the decision — before emitting the terminal marker;
+//   * the adversary may drop and duplicate in-flight messages and crash
+//     members, up to a budget per class (asynchrony is interleaving, as in
+//     verify/model.h).
+//
+// Checked properties: node-count conservation (donor + recipient + escrow
+// constant at every state), no orphaned escrow at quiescence
+// (Property::kOrphanEscrow — the IOC106 invariant), and termination of the
+// started trade. Every transition emits the same TRADE_* / TIMEOUT / RETRY
+// control-trace markers the runtime root logs, so a counterexample replays
+// through lint::check_trace and trips IOC106.
+//
+// The `leak_escrow` mutation re-introduces the bug the recovery pass
+// exists to prevent (mirroring fed::Root::Options::mutate_leak_escrow): a
+// fenced trade skips the donor-side settle and its terminal marker. The
+// checker proves it orphans escrow and the lint replayer flags the trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/model.h"
+
+namespace ioc::verify {
+
+/// Trade participants: 0 = donor shard, 1 = recipient shard.
+inline constexpr std::size_t kFedMembers = 2;
+/// Wire gather rounds (vote, decide). Begin is abstracted into the trade
+/// start: it carries no ledger effect, so modeling its loss adds only
+/// states the vote round's loss already covers.
+inline constexpr std::size_t kFedRounds = 2;
+inline constexpr std::size_t kVoteRound = 0;
+inline constexpr std::size_t kDecideRound = 1;
+
+struct FedScenario {
+  /// Spare nodes per shard pool at trade start.
+  int donor_spares = 2;
+  int recipient_spares = 1;
+  /// Nodes the trade moves donor -> recipient.
+  int count = 1;
+  /// Resend attempts per gather round before the trade is fenced.
+  int retries = 1;
+  FaultBudget faults;  ///< drops / dups / crashes, as in verify/model.h
+  /// Mutation: a fenced trade skips the donor-side recovery settle and the
+  /// terminal marker (the historical escrow-leak bug; IOC106).
+  bool leak_escrow = false;
+
+  int total_nodes() const { return donor_spares + recipient_spares; }
+};
+
+enum class FedPhase : std::uint8_t {
+  kIdle = 0,  ///< trade not started
+  kVote,      ///< vote gather in progress
+  kDecide,    ///< decision chosen, decide gather in progress
+  kDone,      ///< settled (terminal marker emitted, unless leaked)
+};
+
+struct FedState {
+  std::int8_t donor_spares = 0;
+  std::int8_t recipient_spares = 0;
+  std::int8_t escrow = 0;
+  std::uint8_t phase = 0;  ///< FedPhase
+  bool commit = false;     ///< decision, valid in kDecide+
+  bool fenced = false;     ///< a gather exhausted its ladder
+  std::int8_t retries = 0;
+  // Per member.
+  bool crashed[kFedMembers] = {};
+  bool voted[kFedMembers] = {};      ///< member answered the vote round
+  bool voted_yes[kFedMembers] = {};
+  bool applied[kFedMembers] = {};    ///< member applied the decision
+  bool answered[kFedMembers] = {};   ///< gather got this member's reply
+  /// In-flight copies per member and round (root->member, member->root).
+  std::uint8_t req_in[kFedMembers][kFedRounds] = {};
+  std::uint8_t rep_in[kFedMembers][kFedRounds] = {};
+  // Adversary budget spent.
+  std::uint8_t drops = 0;
+  std::uint8_t dups = 0;
+  std::uint8_t crashes = 0;
+
+  std::string encode() const;
+};
+
+enum class FedActionKind : std::uint8_t {
+  kStart,       ///< root opens the trade: TRADE_BEGIN, vote reqs out
+  kDeliverReq,  ///< deliver one root->member copy (target = m*rounds+r)
+  kDropReq,     ///< adversary drops one copy (budget)
+  kDupReq,      ///< deliver a copy, keep one in flight (budget)
+  kDeliverRep,  ///< deliver one member->root copy
+  kDropRep,
+  kDupRep,
+  kTimeout,     ///< gather deadline: RETRY resend, or fence + settle
+  kCrash,       ///< adversary crashes member m (budget)
+};
+
+const char* fed_action_name(FedActionKind k);
+
+struct FedAction {
+  FedActionKind kind{};
+  /// Member index for kCrash; member * kFedRounds + round for the wire
+  /// actions; unused otherwise.
+  std::uint8_t target = 0;
+};
+
+/// One applied action, for counterexample display (same Step vocabulary as
+/// verify/model.h so ioc_verify shares its printing and lint replay).
+struct FedStep {
+  FedAction action;
+  std::string label;
+  std::vector<core::ControlTraceEvent> events;
+};
+
+class FedModel {
+ public:
+  explicit FedModel(FedScenario s) : scenario_(s) {}
+
+  const FedScenario& scenario() const { return scenario_; }
+
+  FedState initial() const;
+  void enabled(const FedState& s, std::vector<FedAction>* out) const;
+  FedState apply(const FedState& s, const FedAction& a, FedStep* step) const;
+  /// Safety check on every state; nullopt when the invariants hold.
+  std::optional<Violation> check(const FedState& s) const;
+  /// Quiescence check for states with no enabled action.
+  std::optional<Violation> stuck(const FedState& s) const;
+
+ private:
+  void settle(FedState& st, FedStep* step) const;
+  void emit(FedStep* step, const char* type, int delta) const;
+
+  FedScenario scenario_;
+};
+
+struct FedCheckReport {
+  std::size_t states = 0;
+  std::size_t edges = 0;
+  std::size_t terminals = 0;
+  std::size_t depth = 0;
+  double seconds = 0;
+  bool capped = false;
+  std::optional<Violation> violation;
+  std::vector<FedStep> counterexample;  ///< shortest path (BFS)
+  /// Counterexample control-trace, `at` = 1-based event index — ready for
+  /// lint::check_trace (the IOC106 replay).
+  std::vector<core::ControlTraceEvent> trace;
+
+  bool ok() const { return !violation.has_value() && !capped; }
+};
+
+FedCheckReport run_fed_check(const FedModel& model,
+                             std::size_t max_states = 20u * 1000 * 1000);
+
+}  // namespace ioc::verify

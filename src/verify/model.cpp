@@ -118,6 +118,8 @@ const char* property_name(Property p) {
       return "timeout-orphan";
     case Property::kStuck:
       return "stuck";
+    case Property::kOrphanEscrow:
+      return "orphan-escrow";
   }
   return "?";
 }

@@ -223,6 +223,7 @@ enum class Property {
   kFenceResurrect,  ///< fenced container owns nodes or left offline again
   kTimeoutOrphan,   ///< TIMEOUT with no RETRY/ESCALATE (IOC105)
   kStuck,           ///< reachable quiescent-violation: work left undone
+  kOrphanEscrow,    ///< trade quiesced with escrowed nodes unowned (IOC106)
 };
 
 const char* property_name(Property p);

@@ -641,6 +641,44 @@ TEST(TraceCheck, EscalateSettlesTheFencedContainerCleanly) {
   EXPECT_FALSE(codes(r).count("IOC103"));
 }
 
+TEST(TraceCheck, IOC106UnterminatedTradeIsFlagged) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  // A cross-shard trade opened its bracket and then vanished: whatever it
+  // escrowed is counted by no shard's ledger.
+  const std::vector<ControlTraceEvent> trace = {
+      ev("trade#1", core::kMarkTradeBegin, false, 1),
+      ev("trade#1", core::kMarkTimeout, false),
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_TRUE(codes(r).count("IOC106")) << to_text(r);
+  EXPECT_FALSE(codes(r).count("IOC104"));  // trade ids are not containers
+}
+
+TEST(TraceCheck, TerminatedTradesAndFleetMarkersAreClean) {
+  const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
+  // Every terminal closes its trade's bracket — a FENCE also answers the
+  // retry ladder's dangling TIMEOUT (the fence IS the recovery) — and
+  // FAILOVER/REASSIGN are fleet annotations, not spec containers.
+  const std::vector<ControlTraceEvent> trace = {
+      ev("trade#1", core::kMarkTradeBegin, false, 1),
+      ev("trade#1", core::kMarkTradeCommit, false, 1),
+      ev("trade#2", core::kMarkTradeBegin, false, 1),
+      ev("trade#2", core::kMarkTimeout, false),
+      ev("trade#2", core::kMarkRetry, false),
+      ev("trade#2", core::kMarkTimeout, false),
+      ev("trade#2", core::kMarkTradeFence, false),
+      ev("trade#3", core::kMarkTradeBegin, false, 1),
+      ev("trade#3", core::kMarkTradeAbort, false),
+      ev("shard-3", core::kMarkFailover, false),
+      ev("pipe-7", core::kMarkReassign, false, 2),
+  };
+  const LintResult r = check_trace(spec, trace);
+  EXPECT_TRUE(r.ok()) << to_text(r);
+  EXPECT_FALSE(codes(r).count("IOC106"));
+  EXPECT_FALSE(codes(r).count("IOC105"));
+  EXPECT_FALSE(codes(r).count("IOC104"));
+}
+
 TEST(TraceCheck, MarkersNeverAdvanceTheProtocolState) {
   const auto spec = PipelineSpec::lammps_smartpointer(512, 24);
   // A retried round is still ONE round: the RETRY marker between request

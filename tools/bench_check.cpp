@@ -1,21 +1,32 @@
-// bench_check: validates a BENCH_kernels.json emitted by
-// bench/kernel_microbench — the machine-readable kernel baseline CI keeps
-// honest the same way doc_check keeps the docs honest. Checks the schema
-// tag, the unit, and every result row (known kernel, positive atoms/
-// ns_per_atom, sane thread counts), and requires each threaded kernel to
-// report both a threads=1 baseline and at least one threads>1 point so the
-// speedup trajectory is always present in the artifact.
+// bench_check: validates the machine-readable bench artifacts CI keeps
+// honest the same way doc_check keeps the docs honest. The artifact's
+// "schema" tag selects the rule set:
+//
+//   ioc.bench.kernels/v1 (bench/kernel_microbench -> BENCH_kernels.json):
+//     known kernel names, positive atoms/ns_per_atom, sane thread counts,
+//     and each threaded kernel must report both a threads=1 baseline and at
+//     least one threads>1 point so the speedup trajectory is always present.
+//     The gated metric is ns_per_atom (wall-clock: baseline comparisons are
+//     a manual/CI-perf step, not a default ctest entry).
+//
+//   ioc.bench.fleet/v1 (bench/fleet_scale -> BENCH_fleet.json): positive
+//     shard/pipeline counts, monotone coverage (a 1-shard and a >1-shard
+//     point must both exist), non-negative resize_p99_ms. The gated metric
+//     is resize_p99_ms, which is *simulated* time under a fixed seed — it
+//     reproduces bit-for-bit on any machine, so the fresh-vs-committed
+//     comparison runs as a default ctest entry.
 //
 // With --baseline it additionally compares the fresh artifact against a
 // committed baseline row by row (keyed by the unique "benchmark" name):
-// a row whose ns_per_atom regressed by more than --max-regression percent
+// a row whose gated metric regressed by more than --max-regression percent
 // is a finding, as is a baseline row the fresh run no longer covers. New
-// rows that only exist in the fresh run are fine. --update-baseline
-// rewrites the baseline file from a fresh artifact that passed the schema
-// checks — the escape hatch after an intentional kernel change.
+// rows that only exist in the fresh run are fine. The two files must carry
+// the same schema tag. --update-baseline rewrites the baseline file from a
+// fresh artifact that passed the schema checks — the escape hatch after an
+// intentional change.
 //
 // usage: bench_check [--baseline FILE] [--max-regression PCT]
-//                    [--update-baseline] <BENCH_kernels.json>
+//                    [--update-baseline] <BENCH_*.json>
 // exit 0 clean, 1 findings, 2 usage.
 #include <cstdio>
 #include <cstdlib>
@@ -40,19 +51,15 @@ bool read_file(const std::string& p, std::string* out) {
   return true;
 }
 
-/// Schema/row validation shared by the fresh artifact and the baseline.
-/// Appends findings prefixed with `label`.
-void check_schema(const ioc::trace::json::Value& root, const std::string& label,
-                  std::vector<std::string>* findings) {
+/// Kernel-artifact validation (ioc.bench.kernels/v1), applied to both the
+/// fresh artifact and the baseline. Appends findings prefixed with `label`.
+void check_kernels_schema(const ioc::trace::json::Value& root,
+                          const std::string& label,
+                          std::vector<std::string>* findings) {
   auto fail = [&](std::string msg) {
     findings->push_back(label + ": " + std::move(msg));
   };
 
-  if (!root.is_object()) fail("top level is not an object");
-  if (root.str_or("schema") != "ioc.bench.kernels/v1") {
-    fail("schema is '" + root.str_or("schema") +
-         "', expected 'ioc.bench.kernels/v1'");
-  }
   if (root.str_or("unit") != "ns_per_atom") {
     fail("unit is '" + root.str_or("unit") + "', expected 'ns_per_atom'");
   }
@@ -113,18 +120,98 @@ void check_schema(const ioc::trace::json::Value& root, const std::string& label,
   }
 }
 
+/// Fleet-artifact validation (ioc.bench.fleet/v1).
+void check_fleet_schema(const ioc::trace::json::Value& root,
+                        const std::string& label,
+                        std::vector<std::string>* findings) {
+  auto fail = [&](std::string msg) {
+    findings->push_back(label + ": " + std::move(msg));
+  };
+
+  if (root.str_or("unit") != "resize_p99_ms") {
+    fail("unit is '" + root.str_or("unit") + "', expected 'resize_p99_ms'");
+  }
+  const auto* results = root.find("results");
+  if (results == nullptr || !results->is_array()) {
+    fail("missing 'results' array");
+    return;
+  }
+  if (results->array.empty()) {
+    fail("'results' is empty");
+    return;
+  }
+  std::set<long> shard_points;
+  std::size_t idx = 0;
+  for (const auto& r : results->array) {
+    const std::string at = "results[" + std::to_string(idx++) + "]";
+    if (!r.is_object()) {
+      fail(at + " is not an object");
+      continue;
+    }
+    if (r.str_or("benchmark").empty()) fail(at + " lacks a benchmark name");
+    const double shards = r.num_or("shards");
+    if (shards < 1 || shards > 4096) fail(at + " shards out of range");
+    if (r.num_or("pipelines") < 1) fail(at + " pipelines must be >= 1");
+    if (r.num_or("resize_p99_ms") < 0) {
+      fail(at + " resize_p99_ms must be >= 0");
+    }
+    if (r.num_or("events") <= 0) fail(at + " events must be > 0");
+    shard_points.insert(static_cast<long>(shards));
+  }
+  // The scaling story needs both ends: a single-shard reference point and
+  // at least one federated (>1 shard) point.
+  if (shard_points.count(1) == 0) {
+    fail("no shards=1 reference point");
+  }
+  if (!shard_points.empty() && *shard_points.rbegin() <= 1) {
+    fail("no shards>1 federation point");
+  }
+}
+
+/// Dispatch on the artifact's schema tag; unknown tags are findings so a
+/// typo'd or future schema never silently passes.
+void check_schema(const ioc::trace::json::Value& root, const std::string& label,
+                  std::vector<std::string>* findings) {
+  if (!root.is_object()) {
+    findings->push_back(label + ": top level is not an object");
+    return;
+  }
+  const std::string schema = root.str_or("schema");
+  if (schema == "ioc.bench.kernels/v1") {
+    check_kernels_schema(root, label, findings);
+  } else if (schema == "ioc.bench.fleet/v1") {
+    check_fleet_schema(root, label, findings);
+  } else {
+    findings->push_back(label + ": unknown schema '" + schema + "'");
+  }
+}
+
+/// The metric the per-row regression gate compares for a given schema.
+const char* gated_metric(const std::string& schema) {
+  if (schema == "ioc.bench.fleet/v1") return "resize_p99_ms";
+  return "ns_per_atom";
+}
+
 /// Per-row regression gate: every baseline row must still exist and must
-/// not have slowed past the allowance.
+/// not have slowed past the allowance on the schema's gated metric.
 void compare_to_baseline(const ioc::trace::json::Value& fresh,
                          const ioc::trace::json::Value& baseline,
                          double max_regression_pct,
                          std::vector<std::string>* findings) {
+  const std::string schema = fresh.str_or("schema");
+  if (baseline.str_or("schema") != schema) {
+    findings->push_back("baseline schema '" + baseline.str_or("schema") +
+                        "' does not match fresh artifact schema '" + schema +
+                        "'");
+    return;
+  }
+  const char* metric = gated_metric(schema);
   std::map<std::string, double> fresh_rows;
   if (const auto* results = fresh.find("results");
       results != nullptr && results->is_array()) {
     for (const auto& r : results->array) {
       if (r.is_object() && !r.str_or("benchmark").empty()) {
-        fresh_rows[r.str_or("benchmark")] = r.num_or("ns_per_atom");
+        fresh_rows[r.str_or("benchmark")] = r.num_or(metric);
       }
     }
   }
@@ -138,19 +225,17 @@ void compare_to_baseline(const ioc::trace::json::Value& fresh,
     const auto it = fresh_rows.find(name);
     if (it == fresh_rows.end()) {
       findings->push_back("baseline row '" + name +
-                          "' is missing from the fresh run (kernel coverage "
-                          "lost)");
+                          "' is missing from the fresh run (coverage lost)");
       continue;
     }
-    const double base = r.num_or("ns_per_atom");
-    if (base <= 0) continue;  // baseline schema findings cover this
+    const double base = r.num_or(metric);
+    if (base <= 0) continue;  // zero/absent baseline metric: nothing to gate
     if (it->second > base * allowance) {
       char buf[160];
       std::snprintf(buf, sizeof(buf),
-                    "'%s' regressed %.1f%%: %.1f -> %.1f ns/atom (allowed "
-                    "%.0f%%)",
+                    "'%s' regressed %.1f%%: %.1f -> %.1f %s (allowed %.0f%%)",
                     name.c_str(), (it->second / base - 1.0) * 100.0, base,
-                    it->second, max_regression_pct);
+                    it->second, metric, max_regression_pct);
       findings->push_back(buf);
     }
   }
@@ -159,7 +244,7 @@ void compare_to_baseline(const ioc::trace::json::Value& fresh,
 int usage() {
   std::fprintf(stderr,
                "usage: bench_check [--baseline FILE] [--max-regression PCT] "
-               "[--update-baseline] <BENCH_kernels.json>\n");
+               "[--update-baseline] <BENCH_*.json>\n");
   return 2;
 }
 

@@ -13,6 +13,10 @@
 // counterexample and replays it through the lint trace checker so the
 // failure maps onto the IOC1xx diagnostics.
 //
+//   --fed               check the federation model instead: one cross-shard
+//                       resource trade (donor shard, recipient shard, root
+//                       coordinator) under the same bounded adversary, with
+//                       the orphaned-escrow property (IOC106) added
 //   --containers N      containers taken from the spec (default 2, max 4)
 //   --drops N           adversary drop budget (default 1)
 //   --dups N            adversary duplicate budget (default 1)
@@ -23,7 +27,8 @@
 //   --no-por            disable partial-order reduction (full interleaving)
 //   --timeout-races     also explore deadlines racing in-flight replies
 //   --bug=NAME          re-introduce a historical bug in the model:
-//                       stale-timeout | shared-token (test-only mutations)
+//                       stale-timeout | shared-token, or with --fed
+//                       leak-escrow (test-only mutations)
 //   --max-states N      inconclusive-run cap (default 20000000)
 //   --trace-out FILE    write the counterexample as Chrome trace JSON
 //   --expect-violation  invert the exit code: fail when the model is clean
@@ -42,6 +47,7 @@
 #include "trace/sink.h"
 #include "util/config.h"
 #include "verify/checker.h"
+#include "verify/fed_model.h"
 #include "verify/model.h"
 
 namespace {
@@ -53,12 +59,12 @@ using ioc::verify::Scenario;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ioc_verify [--containers N] [--drops N] [--dups N] "
-               "[--crashes N]\n"
+               "usage: ioc_verify [--fed] [--containers N] [--drops N] "
+               "[--dups N] [--crashes N]\n"
                "                  [--cm-retries N] [--txn-retries N] "
                "[--no-trade] [--no-por]\n"
                "                  [--timeout-races] "
-               "[--bug=stale-timeout|shared-token]\n"
+               "[--bug=stale-timeout|shared-token|leak-escrow]\n"
                "                  [--max-states N] [--trace-out FILE] "
                "[--expect-violation]\n"
                "                  [--quiet] [config.ini]\n");
@@ -79,7 +85,10 @@ ioc::core::PipelineSpec replay_spec(const Scenario& sc) {
   return spec;
 }
 
-bool write_chrome_trace(const std::string& path, const CheckReport& rep) {
+// Works for both CheckReport and FedCheckReport — each counterexample step
+// carries the same label + ControlTraceEvent list.
+template <typename Report>
+bool write_chrome_trace(const std::string& path, const Report& rep) {
   std::vector<ioc::trace::SpanRecord> spans;
   std::size_t at = 0;
   for (const auto& step : rep.counterexample) {
@@ -119,7 +128,7 @@ int main(int argc, char** argv) {
 
   int drops = -1, dups = -1, crashes = -1;
   int cm_retries = -1, txn_retries = -1;
-  bool no_trade = false, timeout_races = false;
+  bool no_trade = false, timeout_races = false, fed = false;
   std::string bug;
 
   for (int i = 1; i < argc; ++i) {
@@ -145,6 +154,8 @@ int main(int argc, char** argv) {
     } else if (int_arg("--max-states", &v)) {
       if (v < 1) return usage();
       opts.max_states = static_cast<std::size_t>(v);
+    } else if (std::strcmp(arg, "--fed") == 0) {
+      fed = true;
     } else if (std::strcmp(arg, "--no-trade") == 0) {
       no_trade = true;
     } else if (std::strcmp(arg, "--no-por") == 0) {
@@ -175,6 +186,81 @@ int main(int argc, char** argv) {
   if (drops == -2 || dups == -2 || crashes == -2 || cm_retries == -2 ||
       txn_retries == -2) {
     return usage();
+  }
+
+  if (fed) {
+    // Federation model: one cross-shard trade, its own small exhaustive
+    // BFS (verify/fed_model.h). Shares the fault-budget and retry flags;
+    // the container/spec flags do not apply.
+    ioc::verify::FedScenario fsc;
+    if (drops >= 0) fsc.faults.drops = static_cast<std::uint8_t>(drops);
+    if (dups >= 0) fsc.faults.dups = static_cast<std::uint8_t>(dups);
+    if (crashes >= 0) fsc.faults.crashes = static_cast<std::uint8_t>(crashes);
+    if (txn_retries >= 0) fsc.retries = txn_retries;
+    if (bug == "leak-escrow") {
+      fsc.leak_escrow = true;
+    } else if (!bug.empty()) {
+      std::fprintf(stderr, "ioc_verify: --fed supports only "
+                           "--bug=leak-escrow, not '%s'\n", bug.c_str());
+      return usage();
+    }
+    const ioc::verify::FedModel fmodel(fsc);
+    if (!quiet) {
+      std::printf("fed scenario: donor %d spares, recipient %d spares, "
+                  "trade %d node(s), faults drop=%d dup=%d crash=%d, "
+                  "retries %d%s\n",
+                  fsc.donor_spares, fsc.recipient_spares, fsc.count,
+                  fsc.faults.drops, fsc.faults.dups, fsc.faults.crashes,
+                  fsc.retries, fsc.leak_escrow ? ", BUG leak-escrow" : "");
+    }
+    const auto rep = ioc::verify::run_fed_check(fmodel, opts.max_states);
+    std::printf("explored %zu states, %zu transitions, %zu terminal states, "
+                "depth %zu, %.2fs%s\n",
+                rep.states, rep.edges, rep.terminals, rep.depth, rep.seconds,
+                rep.capped ? " [CAPPED: inconclusive]" : "");
+    if (rep.capped) return 2;
+    if (!rep.violation.has_value()) {
+      std::printf("verified: no violation of conservation, orphaned-escrow, "
+                  "or trade termination\n");
+      return expect_violation ? 1 : 0;
+    }
+    std::printf("VIOLATION [%s]: %s\n",
+                ioc::verify::property_name(rep.violation->property),
+                rep.violation->message.c_str());
+    if (!quiet) {
+      std::printf("counterexample (%zu steps, shortest):\n",
+                  rep.counterexample.size());
+      for (std::size_t i = 0; i < rep.counterexample.size(); ++i) {
+        const auto& step = rep.counterexample[i];
+        std::printf("  %3zu. %s\n", i + 1, step.label.c_str());
+        for (const auto& ev : step.events) {
+          std::printf("       %s %s delta=%d\n", ev.container.c_str(),
+                      ev.type.c_str(), ev.delta);
+        }
+      }
+      // Replay the counterexample's TRADE_* markers through the trade
+      // bracket rule: a leaked escrow shows up as IOC106.
+      ioc::core::PipelineSpec spec;
+      spec.staging_nodes =
+          static_cast<std::size_t>(fsc.total_nodes());
+      const auto lint = ioc::lint::check_trace(spec, rep.trace);
+      if (!lint.diagnostics.empty()) {
+        std::printf("lint replay of the counterexample trace:\n");
+        std::fputs(ioc::lint::to_text(lint).c_str(), stdout);
+      } else {
+        std::printf("lint replay of the counterexample trace: clean (the "
+                    "violation is internal to the ledger)\n");
+      }
+    }
+    if (!trace_out.empty()) {
+      if (!write_chrome_trace(trace_out, rep)) {
+        std::fprintf(stderr, "ioc_verify: cannot write %s\n",
+                     trace_out.c_str());
+      } else if (!quiet) {
+        std::printf("counterexample trace written to %s\n", trace_out.c_str());
+      }
+    }
+    return expect_violation ? 0 : 1;
   }
 
   if (have_spec) {
