@@ -52,8 +52,7 @@ Timer Simulator::timer_at(SimTime t, std::function<void()> fn) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  Entry e = queue_.top();
-  queue_.pop();
+  Entry e = queue_.pop();
   now_ = e.t;
   ++processed_;
   if (e.h) {
@@ -71,7 +70,7 @@ SimTime Simulator::run() {
 }
 
 SimTime Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().t <= deadline) {
+  while (!queue_.empty() && queue_.min_time() <= deadline) {
     step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -1,19 +1,22 @@
 // The discrete-event engine. A Simulator owns a virtual clock and a
-// priority queue of pending events; events are either coroutine resumptions
-// (the Process machinery in process.h) or plain callbacks.
+// priority queue of pending events — a ladder queue (ladder_queue.h),
+// amortized O(1) per event where the former binary heap paid O(log n);
+// events are either coroutine resumptions (the Process machinery in
+// process.h) or plain callbacks.
 //
 // Determinism: events at equal timestamps fire in scheduling order (a
 // monotone sequence number breaks ties), so a given program produces the
-// same trace on every run.
+// same trace on every run. The ladder queue pops in exactly that (t, seq)
+// order — see DESIGN.md §15 for why every digest survived the swap.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "des/ladder_queue.h"
 #include "des/time.h"
 
 namespace ioc::des {
@@ -94,14 +97,8 @@ class Simulator {
     std::coroutine_handle<> h;       // exactly one of h / fn is active
     std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  LadderQueue<Entry> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

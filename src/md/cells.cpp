@@ -63,6 +63,11 @@ void CellList::build(const std::vector<Vec3>& pos) {
   for (std::size_t i = 0; i < natoms_; ++i) {
     cell_atoms_[cursor[cell_index[i]]++] = static_cast<std::uint32_t>(i);
   }
+  max_cell_atoms_ = 0;
+  for (std::size_t c = 0; c < ncells; ++c) {
+    max_cell_atoms_ = std::max<std::size_t>(max_cell_atoms_,
+                                            cell_start_[c + 1] - cell_start_[c]);
+  }
   if (skin_ > 0.0) build_pos_ = pos;
 }
 
@@ -93,6 +98,10 @@ void CellList::neighbor_csr(const std::vector<Vec3>& pos, unsigned threads,
                             std::vector<std::uint32_t>* neighbors) const {
   const std::size_t n = pos.size();
   offsets->assign(n + 1, 0);
+  // Below the grain threshold the serial two-pass build wins outright: no
+  // pool dispatch, no atomics. The result is identical either way (rows are
+  // sorted), so the clamp is purely a latency decision.
+  threads = par::grain_limited_threads(threads, n);
   if (threads <= 1) {
     // Pass 1: degrees (stored shifted by one for the in-place prefix sum).
     for_each_pair(pos, [&](std::size_t i, std::size_t j, double) {

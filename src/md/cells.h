@@ -6,18 +6,43 @@
 // Storage is a flat CSR layout (cell_start_ offsets into one cell_atoms_
 // index array) rebuilt by counting sort, and the pair visitor is a template
 // so the per-pair callback inlines — no per-pair indirect call and no
-// per-cell heap allocation. An optional Verlet skin widens the bins by
+// per-cell heap allocation. The visitor's cell path is tiled over SoA
+// coordinate lanes so the distance math auto-vectorizes while visit order
+// and bits stay identical to the scalar loop (docs/PERFORMANCE.md).
+// An optional Verlet skin widens the bins by
 // `skin` so the structure stays valid until some atom drifts more than
 // skin/2 from its position at build time; update() performs that check and
 // rebuilds only when needed (or when the box deformed, e.g. under strain).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "md/atoms.h"
+#include "md/soa.h"
 
 namespace ioc::md {
+
+namespace detail {
+
+/// Pair-visitor dispatch: callbacks may take (i, j, r2) — the historical
+/// signature — or (i, j, r2, d) with d the minimum-image displacement
+/// pos[i] - pos[j] that the visitor already computed for the cutoff test.
+/// Force kernels take the 4-arg form so they never recompute min_image.
+template <class Fn>
+inline void invoke_pair(Fn& fn, std::size_t i, std::size_t j, double r2,
+                        const Vec3& d) {
+  if constexpr (std::is_invocable_v<Fn&, std::size_t, std::size_t, double,
+                                    const Vec3&>) {
+    fn(i, j, r2, d);
+  } else {
+    fn(i, j, r2);
+  }
+}
+
+}  // namespace detail
 
 class CellList {
  public:
@@ -32,8 +57,10 @@ class CellList {
   bool update(const Box& box, const std::vector<Vec3>& pos);
 
   /// Visit each unordered pair (i < j) with |r_ij| <= cutoff exactly once.
-  /// The callback receives (i, j, r2) with r2 the squared minimum-image
-  /// distance. Templated so the callback inlines into the cell loops.
+  /// The callback receives (i, j, r2) — or (i, j, r2, d) with d the
+  /// minimum-image displacement pos[i] - pos[j], see detail::invoke_pair —
+  /// with r2 the squared minimum-image distance. Templated so the callback
+  /// inlines into the cell loops.
   template <class Fn>
   void for_each_pair(const std::vector<Vec3>& pos, Fn&& fn) const {
     for_each_pair_range(pos, 0, range_size(), fn);
@@ -44,15 +71,27 @@ class CellList {
   /// [begin, end) in the O(n^2) fallback. Every pair is owned by exactly
   /// one domain slot, so disjoint ranges visit disjoint pair sets — the
   /// unit the parallel kernels chunk over.
+  /// The cell path runs tiled: per cell pair the candidate coordinates are
+  /// gathered into SoA lanes (md/soa.h) and a branchless pass computes every
+  /// candidate's wrapped displacement and r2 into scratch arrays — that loop
+  /// has no data-dependent control flow, so it auto-vectorizes — then an
+  /// ordered scalar sweep invokes the callback on the survivors. Visit order
+  /// and per-pair arithmetic match the historical scalar loop exactly (see
+  /// docs/PERFORMANCE.md "Bit-identicality"), so threads=1 results are
+  /// bit-for-bit unchanged.
   template <class Fn>
   void for_each_pair_range(const std::vector<Vec3>& pos, std::size_t begin,
                            std::size_t end, Fn&& fn) const {
     const double rc2 = cutoff_ * cutoff_;
     if (!use_cells_) {
+      // O(n^2) fallback: the box can be smaller than ~3 cutoffs per
+      // dimension here, where the multiply-by-inverse wrap below is not
+      // provably bit-equal to Box::min_image, so keep the division path.
       for (std::size_t i = begin; i < end; ++i) {
         for (std::size_t j = i + 1; j < pos.size(); ++j) {
-          const double r2 = box_.min_image(pos[i], pos[j]).norm2();
-          if (r2 <= rc2) fn(i, j, r2);
+          const Vec3 d = box_.min_image(pos[i], pos[j]);
+          const double r2 = d.norm2();
+          if (r2 <= rc2) detail::invoke_pair(fn, i, j, r2, d);
         }
       }
       return;
@@ -60,18 +99,66 @@ class CellList {
     const auto nx = static_cast<std::int64_t>(nx_);
     const auto ny = static_cast<std::int64_t>(ny_);
     const auto nz = static_cast<std::int64_t>(nz_);
+    const Vec3 len = box_.extent();
+    // Reciprocal lengths hoist the per-pair division out of the wrap. The
+    // wrap count k = nearbyint(d/len) can only disagree with
+    // nearbyint(d*inv) when d/len lies within ~2 ulp of a half-integer
+    // rounding boundary — but such a pair is |wrapped d| ~ len/2 >= 1.5
+    // cutoffs (the box is >= 3 bins, bin >= cutoff), beyond the cutoff under
+    // either rounding, so it never reaches the callback. For every pair that
+    // does, |wrapped d| <= cutoff puts d/len within 1/3 of an integer: both
+    // forms give the same k, and d - len*k is the exact expression from
+    // Box::min_image — the surviving displacement and r2 are bit-identical.
+    const Vec3 inv{1.0 / len.x, 1.0 / len.y, 1.0 / len.z};
+    // Per-call scratch (the visitor runs concurrently on chunks, so no
+    // mutable members): SoA lanes for the two cells of the current pair and
+    // the candidate displacement/r2 tiles.
+    Soa3 home, other_soa;
+    home.reserve(max_cell_atoms_);
+    other_soa.reserve(max_cell_atoms_);
+    std::vector<double> tdx(max_cell_atoms_), tdy(max_cell_atoms_),
+        tdz(max_cell_atoms_), tr2(max_cell_atoms_);
+    // One atom (slot `a` of `src`, already in SoA lanes) against candidate
+    // slots [j0, j0+m) of `cand`; `jatoms` maps candidate k to its atom id.
+    auto tile = [&](std::size_t i, const Soa3& src, std::size_t a,
+                    const Soa3& cand, std::size_t j0, std::size_t m,
+                    const std::uint32_t* jatoms) {
+      const double xi = src.x[a], yi = src.y[a], zi = src.z[a];
+      const double* xs = cand.x.data() + j0;
+      const double* ys = cand.y.data() + j0;
+      const double* zs = cand.z.data() + j0;
+      for (std::size_t k = 0; k < m; ++k) {
+        double dx = xi - xs[k];
+        double dy = yi - ys[k];
+        double dz = zi - zs[k];
+        dx -= len.x * std::nearbyint(dx * inv.x);
+        dy -= len.y * std::nearbyint(dy * inv.y);
+        dz -= len.z * std::nearbyint(dz * inv.z);
+        tdx[k] = dx;
+        tdy[k] = dy;
+        tdz[k] = dz;
+        tr2[k] = dx * dx + dy * dy + dz * dz;
+      }
+      for (std::size_t k = 0; k < m; ++k) {
+        if (tr2[k] <= rc2) {
+          detail::invoke_pair(fn, i, static_cast<std::size_t>(jatoms[k]),
+                              tr2[k], Vec3{tdx[k], tdy[k], tdz[k]});
+        }
+      }
+    };
     for (std::size_t c = begin; c < end; ++c) {
+      const std::uint32_t* cell = cell_atoms_.data() + cell_start_[c];
+      const std::size_t cell_n = cell_start_[c + 1] - cell_start_[c];
+      if (cell_n == 0) continue;
       const auto cz = static_cast<std::int64_t>(c % nz_);
       const auto cy = static_cast<std::int64_t>((c / nz_) % ny_);
       const auto cx = static_cast<std::int64_t>(c / (ny_ * nz_));
-      const std::uint32_t* cell = cell_atoms_.data() + cell_start_[c];
-      const std::size_t cell_n = cell_start_[c + 1] - cell_start_[c];
+      // Gather from the *current* positions, not build-time ones: with a
+      // Verlet skin, atoms drift between rebuilds.
+      home.pack(pos, cell, cell_n);
       // Pairs within the cell.
       for (std::size_t a = 0; a < cell_n; ++a) {
-        for (std::size_t b = a + 1; b < cell_n; ++b) {
-          const double r2 = box_.min_image(pos[cell[a]], pos[cell[b]]).norm2();
-          if (r2 <= rc2) fn(cell[a], cell[b], r2);
-        }
+        tile(cell[a], home, a, home, a + 1, cell_n - a - 1, cell + a + 1);
       }
       // Pairs with half of the neighboring cells (each cell pair visited
       // once).
@@ -90,12 +177,10 @@ class CellList {
             const std::size_t o = (ox * ny_ + oy) * nz_ + oz;
             const std::uint32_t* other = cell_atoms_.data() + cell_start_[o];
             const std::size_t other_n = cell_start_[o + 1] - cell_start_[o];
+            if (other_n == 0) continue;
+            other_soa.pack(pos, other, other_n);
             for (std::size_t a = 0; a < cell_n; ++a) {
-              for (std::size_t b = 0; b < other_n; ++b) {
-                const double r2 =
-                    box_.min_image(pos[cell[a]], pos[other[b]]).norm2();
-                if (r2 <= rc2) fn(cell[a], other[b], r2);
-              }
+              tile(cell[a], home, a, other_soa, 0, other_n, other);
             }
           }
         }
@@ -142,6 +227,7 @@ class CellList {
   std::size_t natoms_ = 0;
   std::vector<std::uint32_t> cell_start_;  ///< CSR offsets, num_cells + 1
   std::vector<std::uint32_t> cell_atoms_;  ///< atom indices grouped by cell
+  std::size_t max_cell_atoms_ = 0;         ///< largest cell, sizes SoA tiles
   std::vector<Vec3> build_pos_;            ///< positions at last build (skin > 0)
   std::uint64_t builds_ = 0;
 };

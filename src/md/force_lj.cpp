@@ -20,11 +20,16 @@ ForceResult LjForce::compute(AtomData& atoms, CellList& cells,
   cells.update(atoms.box, atoms.pos);
   ForceResult res;
   for (auto& f : atoms.force) f = Vec3{};
-  if (threads <= 1) {
+  // The pair visitor hands the callback the displacement it already wrapped
+  // for the cutoff test, so the force loop never recomputes min_image.
+  // Below the grain threshold the whole kernel runs inline serial — same
+  // code path as threads == 1, no dispatch, no accumulator merge.
+  const unsigned eff = par::grain_limited_threads(threads, n);
+  if (eff <= 1) {
     cells.for_each_pair(
-        atoms.pos, [&](std::size_t i, std::size_t j, double r2) {
+        atoms.pos,
+        [&](std::size_t i, std::size_t j, double r2, const Vec3& rij) {
           const LjPairTerms t = pair_terms(r2);
-          const Vec3 rij = atoms.box.min_image(atoms.pos[i], atoms.pos[j]);
           const Vec3 f = rij * t.fmag_over_r;
           atoms.force[i] += f;
           atoms.force[j] -= f;
@@ -44,16 +49,16 @@ ForceResult LjForce::compute(AtomData& atoms, CellList& cells,
   };
   const std::size_t domain = cells.range_size();
   const unsigned chunks =
-      static_cast<unsigned>(std::min<std::size_t>(threads, domain));
+      static_cast<unsigned>(std::min<std::size_t>(eff, domain));
   std::vector<Accum> accums(chunks);
   par::parallel_for(
       chunks, domain, [&](std::size_t b, std::size_t e, unsigned c) {
         Accum& acc = accums[c];
         acc.force.assign(n, Vec3{});
         cells.for_each_pair_range(
-            atoms.pos, b, e, [&](std::size_t i, std::size_t j, double r2) {
+            atoms.pos, b, e,
+            [&](std::size_t i, std::size_t j, double r2, const Vec3& rij) {
               const LjPairTerms t = pair_terms(r2);
-              const Vec3 rij = atoms.box.min_image(atoms.pos[i], atoms.pos[j]);
               const Vec3 f = rij * t.fmag_over_r;
               acc.force[i] += f;
               acc.force[j] -= f;

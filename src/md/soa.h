@@ -1,0 +1,45 @@
+// Structure-of-arrays view of per-atom data. AtomData stores AoS `Vec3`
+// (convenient for the integrator and the container payloads); the pair
+// kernels want contiguous per-component lanes so the distance math
+// auto-vectorizes. Soa3 is a small reusable gather buffer: pack() copies a
+// slot-indexed subset of an AoS position array into x/y/z lanes, bit-exact
+// (a copy, not a transform), so arithmetic on the lanes produces the same
+// IEEE results as arithmetic on the Vec3s it mirrors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "md/atoms.h"
+
+namespace ioc::md {
+
+struct Soa3 {
+  std::vector<double> x, y, z;
+
+  std::size_t size() const { return x.size(); }
+
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+  }
+
+  /// Gather pos[idx[0..n)] into the component lanes. Values are copied
+  /// verbatim; the only change is the memory layout.
+  void pack(const std::vector<Vec3>& pos, const std::uint32_t* idx,
+            std::size_t n) {
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const Vec3& p = pos[idx[k]];
+      x[k] = p.x;
+      y[k] = p.y;
+      z[k] = p.z;
+    }
+  }
+};
+
+}  // namespace ioc::md

@@ -15,6 +15,7 @@
 //    parallelism cannot deadlock the pool.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -143,6 +144,28 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// Default grain for grain_limited_threads: fanning out pays for itself only
+/// when each chunk gets at least this many work items (atoms, rows, ...).
+/// Calibrated against BENCH_kernels.json small-size rows, where dispatch +
+/// per-chunk accumulator merges used to make 256-atom threaded runs slower
+/// than serial (docs/PERFORMANCE.md "The grain-threshold rule").
+inline constexpr std::size_t kDefaultGrain = 512;
+
+/// Thread count actually worth using for `items` units of work: clamps
+/// `threads` so every chunk holds at least `grain` items, and collapses to 1
+/// (the inline serial path in parallel_for — no pool dispatch at all) when
+/// the work cannot fill two chunks. Deterministic in (threads, items, grain)
+/// so a kernel's chunking — and therefore its chunk-ordered floating-point
+/// merges — never depends on machine load.
+inline unsigned grain_limited_threads(unsigned threads, std::size_t items,
+                                      std::size_t grain = kDefaultGrain) {
+  if (threads <= 1 || items == 0) return 1;
+  if (grain == 0) grain = 1;
+  const std::size_t cap = items / grain;
+  if (cap <= 1) return 1;
+  return static_cast<unsigned>(std::min<std::size_t>(threads, cap));
+}
 
 /// Kernel-facing entry point: `threads <= 1` runs body(0, n, 0) inline on
 /// the caller (the exact serial path, no pool involvement); otherwise the

@@ -134,8 +134,10 @@ CnaResult CommonNeighborAnalysis::classify_subset(
   CnaResult res;
   res.labels.assign(atoms.size(), CnaLabel::kOther);
   // Each subset entry is labeled independently against the shared read-only
-  // adjacency; identical labels at any thread count.
-  par::parallel_for(cfg_.threads, subset.size(),
+  // adjacency; identical labels at any thread count. Small subsets run
+  // inline serial (grain clamp) rather than paying pool dispatch.
+  par::parallel_for(par::grain_limited_threads(cfg_.threads, subset.size()),
+                    subset.size(),
                     [&](std::size_t lo, std::size_t hi, unsigned) {
                       for (std::size_t s = lo; s < hi; ++s) {
                         res.labels[subset[s]] = label_atom(adj, subset[s]);

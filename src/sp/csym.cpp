@@ -23,9 +23,10 @@ std::vector<double> CentralSymmetry::compute(const md::AtomData& atoms) const {
   std::vector<double> csp(atoms.size(), 0.0);
   // Atoms are independent; chunks share nothing but the read-only adjacency
   // and write disjoint csp slots, so per-atom values are bit-identical at
-  // any thread count.
-  par::parallel_for(cfg_.threads, atoms.size(), [&](std::size_t lo,
-                                                    std::size_t hi, unsigned) {
+  // any thread count — including the grain-clamped serial fast path.
+  const unsigned eff = par::grain_limited_threads(cfg_.threads, atoms.size());
+  par::parallel_for(eff, atoms.size(), [&](std::size_t lo,
+                                           std::size_t hi, unsigned) {
     std::vector<std::pair<double, md::Vec3>> nn;  // (r2, displacement)
     std::vector<double> pair_sums;
     for (std::size_t i = lo; i < hi; ++i) {

@@ -54,6 +54,9 @@ FragmentSet find_fragments(const md::AtomData& atoms, const Adjacency& bonds,
   const std::size_t n = atoms.size();
   trace::KernelSpan span(sink, "fragments", threads, static_cast<double>(n));
   UnionFind uf(n);
+  // Canonical ids make every thread count equivalent, so clamping small
+  // inputs to the serial bond pass changes latency, not results.
+  threads = par::grain_limited_threads(threads, n);
   if (threads <= 1 || n < 2) {
     for (std::uint32_t i = 0; i < n; ++i) {
       for (std::uint32_t j : bonds.neighbors_of(i)) {

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "des/ladder_queue.h"
+#include "des/time.h"
+#include "util/rng.h"
+
+namespace ioc::des {
+namespace {
+
+struct Ev {
+  SimTime t = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Reference implementation: the binary heap with the exact (t, seq)
+/// comparator Simulator used before the ladder queue. The property tests
+/// assert the ladder pops the identical sequence.
+struct RefQueue {
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, Later> q;
+  void push(Ev e) { q.push(e); }
+  Ev pop() {
+    Ev e = q.top();
+    q.pop();
+    return e;
+  }
+  bool empty() const { return q.empty(); }
+  std::size_t size() const { return q.size(); }
+};
+
+TEST(LadderQueue, EmptyAndSize) {
+  LadderQueue<Ev> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.push(Ev{5, 0});
+  q.push(Ev{3, 1});
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.min_time(), 3);
+  EXPECT_EQ(q.pop().t, 3);
+  EXPECT_EQ(q.min_time(), 5);
+  EXPECT_EQ(q.pop().t, 5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LadderQueue, EqualTimestampBurstPopsInSeqOrder) {
+  // The FIFO tie-break the control plane's determinism relies on: a burst
+  // at one timestamp must come back in push (seq) order, even when the
+  // burst is large enough to force rung spawning and spread_top's
+  // span==1 sort path.
+  for (std::size_t burst : {1u, 2u, 63u, 64u, 65u, 5000u, 100000u}) {
+    LadderQueue<Ev> q;
+    for (std::uint64_t s = 0; s < burst; ++s) q.push(Ev{42, s});
+    for (std::uint64_t s = 0; s < burst; ++s) {
+      const Ev e = q.pop();
+      ASSERT_EQ(e.t, 42) << "burst=" << burst;
+      ASSERT_EQ(e.seq, s) << "burst=" << burst;
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(LadderQueue, MatchesHeapOnRandomHoldWorkload) {
+  // Drive ladder and heap with the identical stream: random prefill, then
+  // alternating pops and pushes at now + random offset (the Simulator
+  // contract — never into the past). Every popped (t, seq) must match.
+  util::Rng rng(0xD5C0FFEEu);
+  LadderQueue<Ev> ladder;
+  RefQueue heap;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    const Ev e{static_cast<SimTime>(rng.below(100000)), seq++};
+    ladder.push(e);
+    heap.push(e);
+  }
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 60000; ++i) {
+    ASSERT_EQ(ladder.size(), heap.size());
+    const Ev a = ladder.pop();
+    const Ev b = heap.pop();
+    ASSERT_EQ(a.t, b.t) << "pop " << i;
+    ASSERT_EQ(a.seq, b.seq) << "pop " << i;
+    ASSERT_GE(a.t, now) << "time went backwards at pop " << i;
+    now = a.t;
+    // Mostly short offsets with occasional long ones, plus schedule_now
+    // storms (offset 0) to stress the equal-timestamp path mid-drain.
+    const std::size_t kind = rng.below(10);
+    const std::size_t npush = kind == 0 ? rng.below(50) : 1;
+    for (std::size_t p = 0; p < npush; ++p) {
+      const SimTime offset =
+          kind < 3 ? 0
+                   : static_cast<SimTime>(
+                         rng.below(1u << (1 + rng.below(16))));
+      const Ev e{now + offset, seq++};
+      ladder.push(e);
+      heap.push(e);
+    }
+  }
+  while (!heap.empty()) {
+    const Ev a = ladder.pop();
+    const Ev b = heap.pop();
+    ASSERT_EQ(a.t, b.t);
+    ASSERT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(ladder.empty());
+}
+
+TEST(LadderQueue, MatchesHeapAcrossManySeeds) {
+  // Shorter runs over many seeds to hit different rung/spread geometries.
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    util::Rng rng(seed);
+    LadderQueue<Ev> ladder;
+    RefQueue heap;
+    std::uint64_t seq = 0;
+    const std::size_t prefill = 1 + rng.below(3000);
+    for (std::size_t i = 0; i < prefill; ++i) {
+      const Ev e{static_cast<SimTime>(rng.below(1 + rng.below(10000))),
+                 seq++};
+      ladder.push(e);
+      heap.push(e);
+    }
+    SimTime now = 0;
+    while (!heap.empty()) {
+      const Ev a = ladder.pop();
+      const Ev b = heap.pop();
+      ASSERT_EQ(a.t, b.t) << "seed=" << seed;
+      ASSERT_EQ(a.seq, b.seq) << "seed=" << seed;
+      now = a.t;
+      if (rng.chance(0.3)) {
+        const Ev e{now + static_cast<SimTime>(rng.below(1000)), seq++};
+        ladder.push(e);
+        heap.push(e);
+      }
+    }
+    EXPECT_TRUE(ladder.empty()) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ioc::des

@@ -179,5 +179,35 @@ TEST(ThreadPool, DefaultWorkersIsPositive) {
   EXPECT_GE(ThreadPool::shared().workers(), 1u);
 }
 
+TEST(GrainLimitedThreads, SmallRangesCollapseToSerial) {
+  // Anything below two grains of work is not worth a pool dispatch.
+  EXPECT_EQ(grain_limited_threads(8, 0), 1u);
+  EXPECT_EQ(grain_limited_threads(8, 1), 1u);
+  EXPECT_EQ(grain_limited_threads(8, kDefaultGrain), 1u);
+  EXPECT_EQ(grain_limited_threads(8, 2 * kDefaultGrain - 1), 1u);
+}
+
+TEST(GrainLimitedThreads, LargeRangesKeepRequestedThreads) {
+  EXPECT_EQ(grain_limited_threads(8, 2 * kDefaultGrain), 2u);
+  EXPECT_EQ(grain_limited_threads(8, 8 * kDefaultGrain), 8u);
+  EXPECT_EQ(grain_limited_threads(4, 100 * kDefaultGrain), 4u);
+  EXPECT_EQ(grain_limited_threads(1, 100 * kDefaultGrain), 1u);
+}
+
+TEST(GrainLimitedThreads, CustomGrainAndZeroGrain) {
+  EXPECT_EQ(grain_limited_threads(8, 10, 2), 5u);
+  EXPECT_EQ(grain_limited_threads(8, 10, 1), 8u);
+  // grain=0 is treated as 1 rather than dividing by zero.
+  EXPECT_EQ(grain_limited_threads(8, 10, 0), 8u);
+}
+
+TEST(GrainLimitedThreads, DeterministicInInputsOnly) {
+  // The clamp must be a pure function of (threads, items, grain) — kernel
+  // chunk counts feed deterministic digests, so no load-dependent behavior.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(grain_limited_threads(6, 3000), grain_limited_threads(6, 3000));
+  }
+}
+
 }  // namespace
 }  // namespace ioc::par

@@ -16,6 +16,16 @@
 //     reproduces bit-for-bit on any machine, so the fresh-vs-committed
 //     comparison runs as a default ctest entry.
 //
+//   ioc.bench.des/v1 (bench/des_queue_bench -> BENCH_des.json): known
+//     implementations (binary_heap, ladder) and workloads (hold,
+//     equal_burst), positive pending counts and ns_per_op, and every
+//     (workload, pending) point must cover both implementations so the
+//     ladder-vs-heap comparison can never silently lose a side. The gated
+//     metric is ns_per_op (wall-clock, manual/CI-perf comparison like the
+//     kernels).
+//
+// The full tag list lives in bench_schemas.h, shared with doc_check.
+//
 // With --baseline it additionally compares the fresh artifact against a
 // committed baseline row by row (keyed by the unique "benchmark" name):
 // a row whose gated metric regressed by more than --max-regression percent
@@ -38,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_schemas.h"
 #include "trace/json.h"
 
 namespace {
@@ -168,8 +179,66 @@ void check_fleet_schema(const ioc::trace::json::Value& root,
   }
 }
 
-/// Dispatch on the artifact's schema tag; unknown tags are findings so a
-/// typo'd or future schema never silently passes.
+/// DES event-queue artifact validation (ioc.bench.des/v1).
+void check_des_schema(const ioc::trace::json::Value& root,
+                      const std::string& label,
+                      std::vector<std::string>* findings) {
+  auto fail = [&](std::string msg) {
+    findings->push_back(label + ": " + std::move(msg));
+  };
+
+  if (root.str_or("unit") != "ns_per_op") {
+    fail("unit is '" + root.str_or("unit") + "', expected 'ns_per_op'");
+  }
+  static const std::set<std::string> kKnownImpls = {"binary_heap", "ladder"};
+  static const std::set<std::string> kKnownWorkloads = {"hold", "equal_burst"};
+  const auto* results = root.find("results");
+  if (results == nullptr || !results->is_array()) {
+    fail("missing 'results' array");
+    return;
+  }
+  if (results->array.empty()) {
+    fail("'results' is empty");
+    return;
+  }
+  // (workload, pending) -> impls covered; the comparison needs both sides.
+  std::map<std::pair<std::string, long>, std::set<std::string>> coverage;
+  std::size_t idx = 0;
+  for (const auto& r : results->array) {
+    const std::string at = "results[" + std::to_string(idx++) + "]";
+    if (!r.is_object()) {
+      fail(at + " is not an object");
+      continue;
+    }
+    if (r.str_or("benchmark").empty()) fail(at + " lacks a benchmark name");
+    const std::string impl = r.str_or("impl");
+    if (kKnownImpls.count(impl) == 0) {
+      fail(at + " has unknown impl '" + impl + "'");
+      continue;
+    }
+    const std::string workload = r.str_or("workload");
+    if (kKnownWorkloads.count(workload) == 0) {
+      fail(at + " has unknown workload '" + workload + "'");
+      continue;
+    }
+    const double pending = r.num_or("pending");
+    if (pending < 1) fail(at + " pending must be >= 1");
+    if (r.num_or("ns_per_op") <= 0) fail(at + " ns_per_op must be > 0");
+    if (r.num_or("iterations") < 1) fail(at + " iterations must be >= 1");
+    coverage[{workload, static_cast<long>(pending)}].insert(impl);
+  }
+  for (const auto& [point, impls] : coverage) {
+    if (impls.size() < kKnownImpls.size()) {
+      fail("workload '" + point.first + "' pending=" +
+           std::to_string(point.second) +
+           " does not cover both implementations");
+    }
+  }
+}
+
+/// Dispatch on the artifact's schema tag; tags are first checked against the
+/// shared bench_schemas.h table, so a typo'd or future schema never silently
+/// passes (and doc_check cross-checks the docs against the same table).
 void check_schema(const ioc::trace::json::Value& root, const std::string& label,
                   std::vector<std::string>* findings) {
   if (!root.is_object()) {
@@ -177,18 +246,23 @@ void check_schema(const ioc::trace::json::Value& root, const std::string& label,
     return;
   }
   const std::string schema = root.str_or("schema");
+  if (!ioc::benchschema::is_known_schema(schema)) {
+    findings->push_back(label + ": unknown schema '" + schema + "'");
+    return;
+  }
   if (schema == "ioc.bench.kernels/v1") {
     check_kernels_schema(root, label, findings);
   } else if (schema == "ioc.bench.fleet/v1") {
     check_fleet_schema(root, label, findings);
-  } else {
-    findings->push_back(label + ": unknown schema '" + schema + "'");
+  } else if (schema == "ioc.bench.des/v1") {
+    check_des_schema(root, label, findings);
   }
 }
 
 /// The metric the per-row regression gate compares for a given schema.
 const char* gated_metric(const std::string& schema) {
   if (schema == "ioc.bench.fleet/v1") return "resize_p99_ms";
+  if (schema == "ioc.bench.des/v1") return "ns_per_op";
   return "ns_per_atom";
 }
 

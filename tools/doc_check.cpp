@@ -1,11 +1,18 @@
 // doc_check: keeps the documentation honest. Scans README.md, DESIGN.md,
 // EXPERIMENTS.md, and docs/*.md for (a) repo-relative file references,
-// verifying each file exists, and (b) IOCnnn diagnostic codes, verifying
-// each is a registered lint rule — and conversely that every registered
-// rule is documented in docs/DIAGNOSTICS.md. Run by ctest (docs.links) so
-// renames and new rules fail the build instead of rotting the docs.
+// verifying each file exists, (b) IOCnnn diagnostic codes, verifying each
+// is a registered lint rule — and conversely that every registered rule is
+// documented in docs/DIAGNOSTICS.md — and (c) `ioc.bench.*` schema tags,
+// verifying each is in the bench_schemas.h table that bench_check
+// dispatches on. Run by ctest (docs.links) so renames, new rules, and
+// schema drift fail the build instead of rotting the docs.
 //
-// usage: doc_check <repo-root>   exit 0 clean, 1 findings, 2 usage.
+// Extra .md files may be passed after the repo root; they are scanned with
+// the same rules (ctest uses this to prove doc_check rejects fixtures
+// containing an unknown IOC code / bench schema tag).
+//
+// usage: doc_check <repo-root> [extra.md ...]
+// exit 0 clean, 1 findings, 2 usage.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -15,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_schemas.h"
 #include "lint/rules.h"
 
 namespace fs = std::filesystem;
@@ -38,8 +46,8 @@ int line_of(const std::string& text, std::size_t offset) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: doc_check <repo-root>\n");
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: doc_check <repo-root> [extra.md ...]\n");
     return 2;
   }
   const fs::path root = argv[1];
@@ -50,12 +58,16 @@ int main(int argc, char** argv) {
       if (e.path().extension() == ".md") doc_files.push_back(e.path());
     }
   }
+  for (int i = 2; i < argc; ++i) doc_files.emplace_back(argv[i]);
 
   // File references: paths rooted at a first-party source directory with an
   // extension. Globs and code-fence wildcards are skipped.
   const std::regex path_re(
       R"((?:src|docs|tools|bench|tests|examples)/[A-Za-z0-9_./-]*\.[A-Za-z0-9]+)");
   const std::regex code_re(R"(IOC[0-9]{3})");
+  // Bench artifact schema tags, e.g. "ioc.bench.kernels/v1". Every tag a doc
+  // quotes must be in the bench_schemas.h table bench_check dispatches on.
+  const std::regex schema_re(R"(ioc\.bench\.[A-Za-z0-9_]+/v[0-9]+)");
 
   int findings = 0;
   std::set<std::string> codes_seen_in_diagnostics_md;
@@ -89,6 +101,17 @@ int main(int argc, char** argv) {
                     doc.string().c_str(),
                     line_of(text, static_cast<std::size_t>(it->position())),
                     code.c_str());
+        ++findings;
+      }
+    }
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), schema_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string tag = it->str();
+      if (!ioc::benchschema::is_known_schema(tag)) {
+        std::printf("%s:%d: unknown bench schema tag '%s'\n",
+                    doc.string().c_str(),
+                    line_of(text, static_cast<std::size_t>(it->position())),
+                    tag.c_str());
         ++findings;
       }
     }
