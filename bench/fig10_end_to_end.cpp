@@ -93,8 +93,8 @@ int main() {
   const auto spans = sink.spans();
   std::map<std::string, std::vector<double>> durs;  // per-container, in order
   for (const auto& s : spans) {
-    if (s.category == "container" && s.name == "step") {
-      durs[s.source].push_back(s.duration_s());
+    if (s.category() == "container" && s.name() == "step") {
+      durs[std::string(s.source())].push_back(s.duration_s());
     }
   }
   bool windows_agree = true;

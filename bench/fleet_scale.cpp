@@ -1,18 +1,41 @@
 // fleet_scale: federation scaling bench. Runs the fed::Fleet soak at 1, 2,
 // 4, and 8 GM shards (pipelines scale with the shard count so per-shard load
-// stays constant) and emits a machine-readable BENCH_fleet.json (default,
+// stays constant), plus a 16x2048 fleet tier that pushes the soak past 10^6
+// simulator events, and emits a machine-readable BENCH_fleet.json (default,
 // override with IOC_BENCH_FLEET_JSON) next to BENCH_kernels.json.
 //
-// Two kinds of numbers per row, deliberately separated:
+// Three kinds of numbers per row, deliberately separated:
 //   - resize_p99_ms / resizes / trades / events come from simulated time and
 //     a fixed seed, so they are bit-for-bit reproducible on any machine —
 //     bench_check gates these against the committed baseline.
-//   - events_per_wall_sec is wall-clock simulator throughput — reported for
-//     humans, never gated (it moves with the hardware).
+//   - events_per_wall_sec is wall-clock simulator throughput. Measured over
+//     a steady-state window (below), after a per-tier warmup run, so it is
+//     stable enough that bench_check gates it too — but only against a
+//     floor: the committed baseline records a conservative value and the
+//     gate exists to catch order-of-magnitude regressions (e.g.
+//     reintroducing a per-message allocation), not single-digit drift.
+//   - allocs_per_event counts global operator new calls per simulator event
+//     over the same steady window. The control plane is allocation-free in
+//     steady state, so this sits far below 1; values near or above 1 mean a
+//     hot path started heap-allocating again.
+//
+// Measurement discipline (why the numbers are windowed): the v1 bench timed
+// each tier's whole run() — construction, cold caches, lazy dynamic-linker
+// binding and all — over wall times of a few milliseconds, which made
+// events_per_wall_sec noise-dominated and non-monotonic across tiers (see
+// docs/PERFORMANCE.md, "Control-plane allocation"). v2 runs every tier
+// twice (the first run warms code paths, intern tables, and the coroutine
+// frame pools, and is discarded), and times only the [horizon/5, horizon]
+// slice of the second run, excluding construction and teardown. The slice
+// is further split into equal-sim-time chunks and the best sustained chunk
+// rate is what lands in events_per_wall_sec (see run_point), so scheduler
+// preemption on a shared box cannot drag the reading down arbitrarily.
 #include <algorithm>
-#include <chrono>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,7 +43,47 @@
 #include "des/time.h"
 #include "fed/fleet.h"
 
+// --- allocation counter ----------------------------------------------------
+// Counts every global operator new in the process. Single-threaded bench, but
+// relaxed atomics keep the hook correct if a library spins up a thread.
 namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+struct Tier {
+  std::size_t shards = 0;
+  std::size_t pipelines = 0;
+  ioc::des::SimTime demand_interval = 0;
+  std::size_t demand_events = 0;
+  /// 0 keeps the Shard default. The fleet-of-fleets tier shortens this so
+  /// the soak crosses 10^6 simulator events within the same horizon.
+  ioc::des::SimTime heartbeat_interval = 0;
+};
 
 struct FleetRow {
   std::string benchmark;
@@ -31,7 +94,15 @@ struct FleetRow {
   std::uint64_t trades_committed = 0;
   std::uint64_t events = 0;
   double events_per_wall_sec = 0;
+  double allocs_per_event = 0;
 };
+
+double thread_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
 
 double p99_ms(std::vector<ioc::des::SimTime> lat) {
   if (lat.empty()) return 0;
@@ -41,34 +112,117 @@ double p99_ms(std::vector<ioc::des::SimTime> lat) {
   return static_cast<double>(v) / static_cast<double>(ioc::des::kMillisecond);
 }
 
-FleetRow run_point(std::size_t shards) {
+ioc::fed::Fleet::Options make_options(const Tier& tier) {
   ioc::fed::Fleet::Options opt;
-  opt.shards = shards;
-  opt.pipelines = 16 * shards;
+  opt.shards = tier.shards;
+  opt.pipelines = tier.pipelines;
   opt.staging_per_shard = 8;
   opt.horizon = 15 * ioc::des::kSecond;
   opt.settle = 3 * ioc::des::kSecond;
-  opt.demand_events = 60 * shards;
+  opt.demand_interval = tier.demand_interval;
+  opt.demand_events = tier.demand_events;
   opt.seed = 42;  // fixed: the gated columns must reproduce everywhere
+  if (tier.heartbeat_interval > 0) {
+    opt.shard.heartbeat_interval = tier.heartbeat_interval;
+  }
+  return opt;
+}
 
+FleetRow run_point(const Tier& tier) {
+  // Deterministic pass: produces the gated, bit-for-bit reproducible
+  // columns (resize_p99_ms / resizes / trades / events) with options
+  // identical to the v1 bench. Never timed — it doubles as the warmup for
+  // the throughput pass below (resolver, intern tables, thread-local
+  // coroutine frame pools, branch predictors).
+  ioc::fed::Fleet::Options det_opt = make_options(tier);
+  const auto result = ioc::fed::Fleet(det_opt).run();
+
+  // Throughput pass: same fleet shape, but the horizon (and the demand
+  // schedule with it) is stretched so the measured window holds at least
+  // kTargetWindowEvents — simulated seconds are free, only events cost
+  // wall time, and a multi-hundred-thousand-event window turns a
+  // milliseconds-scale timing exercise into tens of milliseconds, big
+  // enough to survive scheduler noise. The stretch factor is derived from
+  // the deterministic pass's event count, so it is itself reproducible.
+  constexpr std::uint64_t kTargetWindowEvents = 600'000;
+  const double rate = static_cast<double>(result.events) /
+                      static_cast<double>(det_opt.horizon + det_opt.settle);
+  ioc::fed::Fleet::Options opt = make_options(tier);
+  const double window_est =
+      rate * static_cast<double>(opt.horizon - opt.horizon / 5);
+  const std::uint64_t stretch =
+      window_est > 0
+          ? std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       static_cast<double>(kTargetWindowEvents) / window_est +
+                       1.0))
+          : 1;
+  opt.horizon *= static_cast<ioc::des::SimTime>(stretch);
+  opt.demand_events *= static_cast<std::size_t>(stretch);
+  const ioc::des::SimTime horizon = opt.horizon;
+  const ioc::des::SimTime settle = opt.settle;
   ioc::fed::Fleet fleet(std::move(opt));
-  const auto wall0 = std::chrono::steady_clock::now();
-  const auto result = fleet.run();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
 
+  // Windowed to [horizon/5, horizon]: the first fifth of the soak is
+  // in-simulation warmup (pipelines converging from width 0), the settle
+  // tail is excluded because it is mostly idle clock advancement.
+  fleet.start_soak();
+  fleet.advance_to(horizon / 5);
+  const std::uint64_t events0 = fleet.sim().events_processed();
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  // The simulator is single-threaded, so the thread CPU clock measures
+  // exactly the work under test; the steady clock would also charge us for
+  // whatever else the machine was running during the window, which on a
+  // busy CI box swings the reading by 2x run to run. Even the CPU clock
+  // absorbs steal time and cache pollution from neighbours on shared
+  // hardware, so the window is split into equal-sim-time chunks and the
+  // best sustained chunk rate is reported: a preemption burst poisons the
+  // chunks it lands in, not the whole reading. Each chunk still holds tens
+  // of thousands of events, far above timer resolution.
+  constexpr int kChunks = 8;
+  const ioc::des::SimTime wstart = horizon / 5;
+  double best_rate = 0;
+  std::uint64_t prev_events = events0;
+  double prev_wall = thread_seconds();
+  for (int c = 1; c <= kChunks; ++c) {
+    fleet.advance_to(wstart + (horizon - wstart) * c / kChunks);
+    const double now_wall = thread_seconds();
+    const std::uint64_t now_events = fleet.sim().events_processed();
+    const double dt = now_wall - prev_wall;
+    const std::uint64_t de = now_events - prev_events;
+    if (dt > 0 && de > 0) {
+      best_rate =
+          std::max(best_rate, static_cast<double>(de) / dt);
+    }
+    prev_wall = now_wall;
+    prev_events = now_events;
+  }
+  const std::uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t events1 = fleet.sim().events_processed();
+  fleet.advance_to(horizon + settle);
+  const auto tput = fleet.snapshot();
+  if (!tput.conserved || tput.open_escrow != 0) {
+    std::fprintf(stderr,
+                 "fleet_scale: throughput pass violated conservation\n");
+    std::exit(1);
+  }
+
+  const std::uint64_t window_events = events1 - events0;
   FleetRow row;
-  row.shards = shards;
-  row.pipelines = 16 * shards;
-  row.benchmark =
-      "Fleet/" + std::to_string(shards) + "x" + std::to_string(row.pipelines);
+  row.shards = tier.shards;
+  row.pipelines = tier.pipelines;
+  row.benchmark = "Fleet/" + std::to_string(tier.shards) + "x" +
+                  std::to_string(tier.pipelines);
   row.resize_p99_ms = p99_ms(result.resize_latencies);
   row.resizes = result.resizes;
   row.trades_committed = result.trades_committed;
   row.events = result.events;
-  row.events_per_wall_sec =
-      wall > 0 ? static_cast<double>(result.events) / wall : 0;
+  row.events_per_wall_sec = best_rate;
+  row.allocs_per_event =
+      window_events > 0
+          ? static_cast<double>(allocs1 - allocs0) /
+                static_cast<double>(window_events)
+          : 0;
 
   if (!result.conserved || result.open_escrow != 0) {
     std::fprintf(stderr,
@@ -78,13 +232,13 @@ FleetRow run_point(std::size_t shards) {
                  result.open_escrow);
     std::exit(1);
   }
-  std::printf("%-12s resize_p99 %8.3f ms  resizes %5llu  trades %3llu  "
-              "events %8llu  (%.0f events/s wall)\n",
+  std::printf("%-14s resize_p99 %8.3f ms  resizes %5llu  trades %3llu  "
+              "events %8llu  (%.0f events/s wall, %.4f allocs/event)\n",
               row.benchmark.c_str(), row.resize_p99_ms,
               static_cast<unsigned long long>(row.resizes),
               static_cast<unsigned long long>(row.trades_committed),
               static_cast<unsigned long long>(row.events),
-              row.events_per_wall_sec);
+              row.events_per_wall_sec, row.allocs_per_event);
   return row;
 }
 
@@ -96,7 +250,7 @@ bool write_json(const std::string& path, const std::vector<FleetRow>& rows) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"ioc.bench.fleet/v1\",\n"
+               "  \"schema\": \"ioc.bench.fleet/v2\",\n"
                "  \"unit\": \"resize_p99_ms\",\n"
                "  \"threads_available\": %u,\n"
                "  \"results\": [\n",
@@ -107,12 +261,14 @@ bool write_json(const std::string& path, const std::vector<FleetRow>& rows) {
                  "    {\"benchmark\": \"%s\", \"shards\": %zu, "
                  "\"pipelines\": %zu, \"resize_p99_ms\": %.4f, "
                  "\"resizes\": %llu, \"trades_committed\": %llu, "
-                 "\"events\": %llu, \"events_per_wall_sec\": %.0f}%s\n",
+                 "\"events\": %llu, \"events_per_wall_sec\": %.0f, "
+                 "\"allocs_per_event\": %.4f}%s\n",
                  r.benchmark.c_str(), r.shards, r.pipelines, r.resize_p99_ms,
                  static_cast<unsigned long long>(r.resizes),
                  static_cast<unsigned long long>(r.trades_committed),
                  static_cast<unsigned long long>(r.events),
-                 r.events_per_wall_sec, i + 1 < rows.size() ? "," : "");
+                 r.events_per_wall_sec, r.allocs_per_event,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -123,10 +279,32 @@ bool write_json(const std::string& path, const std::vector<FleetRow>& rows) {
 }  // namespace
 
 int main() {
-  std::vector<FleetRow> rows;
+  std::vector<Tier> tiers;
+  // The v1 tiers, options unchanged so the gated deterministic columns stay
+  // comparable across the v1 -> v2 schema bump.
   for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                              std::size_t{8}}) {
-    rows.push_back(run_point(shards));
+    tiers.push_back({shards, 16 * shards, 50 * ioc::des::kMillisecond,
+                     60 * shards});
+  }
+  // Fleet-of-fleets tier: 16 shards x 2048 pipelines with a 1 ms demand
+  // tick and 1 ms shard heartbeats, sized to push the soak past 10^6
+  // simulator events so the steady-state window alone covers hundreds of
+  // thousands of events.
+  tiers.push_back({16, 2048, 1 * ioc::des::kMillisecond, 15000,
+                   1 * ioc::des::kMillisecond});
+
+  // IOC_BENCH_FLEET_ONLY=8x128 runs a single tier — for profiling sessions,
+  // where the mixed-tier aggregate hides which tier owns a hot path.
+  const char* only = std::getenv("IOC_BENCH_FLEET_ONLY");
+
+  std::vector<FleetRow> rows;
+  rows.reserve(tiers.size());
+  for (const Tier& tier : tiers) {
+    const std::string tag = std::to_string(tier.shards) + "x" +
+                            std::to_string(tier.pipelines);
+    if (only != nullptr && tag != only) continue;
+    rows.push_back(run_point(tier));
   }
   const char* out = std::getenv("IOC_BENCH_FLEET_JSON");
   return write_json(out != nullptr ? out : "BENCH_fleet.json", rows) ? 0 : 1;

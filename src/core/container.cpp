@@ -222,7 +222,7 @@ des::Task<void> Container::post_metric(mon::MetricKind kind,
   s.value = value;
   s.at = env_.sim->now();
   ev::Message m;
-  m.type = kMsgMetric;
+  m.type_id = kMidMetric;
   m.size_bytes = 128;
   m.payload = s;
   co_await env_.bus->post(mgr_ep_, gm_ep_, std::move(m),
@@ -236,7 +236,7 @@ des::Process Container::heartbeat_loop() {
     if (state_ != State::kOnline || mgr_ep_ == ev::kInvalidEndpoint) break;
     if (gm_ep_ == ev::kInvalidEndpoint) continue;
     ev::Message m;
-    m.type = kMsgHeartbeat;
+    m.type_id = kMidHeartbeat;
     m.size_bytes = 32;
     const ev::EndpointId src = mgr_ep_;
     const bool ok = co_await env_.bus->post(src, gm_ep_, std::move(m),
@@ -259,19 +259,19 @@ des::Task<void> Container::metadata_exchange(std::size_t new_replicas,
   for (std::size_t i = existing; i < existing + new_replicas; ++i) {
     Replica& r = *replicas_.at(i);
     ev::Message cfg;
-    cfg.type = kMsgReplicaConfig;
+    cfg.type_id = kMidReplicaConfig;
     cfg.size_bytes = 512;
     co_await env_.bus->post(mgr_ep_, r.ep, std::move(cfg),
                             ev::TrafficClass::kMetadata);
     ev::Message hello;
-    hello.type = kMsgReplicaHello;
+    hello.type_id = kMidReplicaHello;
     co_await env_.bus->post(r.ep, mgr_ep_, std::move(hello),
                             ev::TrafficClass::kMetadata);
     report.metadata_messages += 2;
     // Contact exchange with the peer replicas already in the container.
     for (std::size_t j = 0; j < existing && j < replicas_.size(); ++j) {
       ev::Message peer;
-      peer.type = kMsgReplicaConfig;
+      peer.type_id = kMidReplicaConfig;
       co_await env_.bus->post(r.ep, replicas_[j]->ep, std::move(peer),
                               ev::TrafficClass::kMetadata);
       ++report.metadata_messages;
@@ -280,7 +280,7 @@ des::Task<void> Container::metadata_exchange(std::size_t new_replicas,
     // information before it can serve pulls to it.
     for (std::uint32_t w = 0; w < writers; ++w) {
       ev::Message contact;
-      contact.type = kMsgEndpointUpdate;
+      contact.type_id = kMidEndpointUpdate;
       contact.size_bytes = 512;
       co_await env_.bus->post(mgr_ep_, r.ep, std::move(contact),
                               ev::TrafficClass::kMetadata);
@@ -301,7 +301,7 @@ des::Task<void> Container::endpoint_update(ProtocolReport& report) {
   }
   for (std::uint32_t w = 0; w < writers; ++w) {
     ev::Message m;
-    m.type = kMsgEndpointUpdate;
+    m.type_id = kMidEndpointUpdate;
     co_await env_.bus->post(mgr_ep_, target, std::move(m),
                             ev::TrafficClass::kMetadata);
     ++report.metadata_messages;
@@ -555,8 +555,8 @@ des::Process Container::manager_loop() {
     if (!msg.has_value()) break;
 
     const bool mutating =
-        msg->type == kMsgIncrease || msg->type == kMsgDecrease ||
-        msg->type == kMsgOffline || msg->type == kMsgActivate;
+        msg->type_id == kMidIncrease || msg->type_id == kMidDecrease ||
+        msg->type_id == kMidOffline || msg->type_id == kMidActivate;
     if (mutating && msg->token != 0) {
       bool replayed = false;
       for (const auto& [tok, cached] : served) {
@@ -571,13 +571,13 @@ des::Process Container::manager_loop() {
     }
 
     ev::Message reply;
-    reply.type = kMsgDone;
+    reply.type_id = kMidDone;
     reply.token = msg->token;
 
     // NOTE: tasks are materialized into named locals before co_await; GCC 12
     // miscompiles non-trivial temporaries inside co_await full-expressions
     // (double destruction of the coroutine argument copies).
-    if (msg->type == kMsgIncrease) {
+    if (msg->type_id == kMidIncrease) {
       const auto* p = msg->as<IncreasePayload>();
       std::vector<net::NodeId> nodes;
       if (p != nullptr) nodes = p->nodes;
@@ -585,28 +585,28 @@ des::Process Container::manager_loop() {
       DonePayload done;
       done.report = co_await task;
       reply.payload = std::move(done);
-    } else if (msg->type == kMsgDecrease) {
+    } else if (msg->type_id == kMidDecrease) {
       const auto* p = msg->as<DecreasePayload>();
       auto task = do_decrease(p != nullptr ? p->count : 0);
       reply.payload = co_await task;
-    } else if (msg->type == kMsgOffline) {
+    } else if (msg->type_id == kMidOffline) {
       auto task = do_offline();
       reply.payload = co_await task;
-    } else if (msg->type == kMsgQueryNeeds) {
+    } else if (msg->type_id == kMidQueryNeeds) {
       NeedsPayload needs;
       needs.extra_nodes = nodes_needed(last_items_);
       needs.predicted_latency = env_.cost->step_seconds(
           spec_.kind, spec_.model, last_items_, width() + needs.extra_nodes,
           spec_.threads_per_node);
-      reply.type = kMsgNeeds;
+      reply.type_id = kMidNeeds;
       reply.payload = needs;
-    } else if (msg->type == kMsgSwitchToDisk) {
+    } else if (msg->type_id == kMidSwitchToDisk) {
       const auto* p = msg->as<SwitchToDiskPayload>();
       SwitchToDiskPayload payload;
       if (p != nullptr) payload = *p;
       auto task = do_switch_to_disk(payload);
       co_await task;
-    } else if (msg->type == kMsgActivate) {
+    } else if (msg->type_id == kMidActivate) {
       const auto* p = msg->as<IncreasePayload>();
       std::vector<net::NodeId> nodes;
       if (p != nullptr) nodes = p->nodes;
@@ -614,18 +614,18 @@ des::Process Container::manager_loop() {
       DonePayload done;
       done.report = co_await task;
       reply.payload = std::move(done);
-    } else if (msg->type == kMsgEnableHashes) {
+    } else if (msg->type_id == kMidEnableHashes) {
       const auto* p = msg->as<EnableHashesPayload>();
       hashing_enabled_ = p == nullptr || p->enabled;
       IOC_INFO << "container " << name() << ": soft-error hashes "
                << (hashing_enabled_ ? "enabled" : "disabled");
-    } else if (msg->type == kMsgEndpointUpdate ||
-               msg->type == kMsgReplicaConfig ||
-               msg->type == kMsgReplicaHello) {
+    } else if (msg->type_id == kMidEndpointUpdate ||
+               msg->type_id == kMidReplicaConfig ||
+               msg->type_id == kMidReplicaHello) {
       continue;  // informational traffic from neighbours
     } else {
       IOC_WARN << "container " << name() << ": unknown control message "
-               << msg->type;
+               << msg->type();
       continue;
     }
     if (mutating && msg->token != 0) {

@@ -88,7 +88,7 @@ des::Process GlobalManager::monitor_loop() {
   while (ep != nullptr) {
     auto msg = co_await ep->mailbox().get();
     if (!msg.has_value()) break;
-    if (msg->type != kMsgMetric) continue;
+    if (msg->type_id != kMidMetric) continue;
     if (const auto* s = msg->as<mon::MetricSample>()) hub_.ingest(*s);
   }
 }
@@ -151,7 +151,7 @@ des::Task<ev::Message> GlobalManager::escalate_fence(Container* c,
   if (survivor != nullptr && survivor->online() && !survivor->disk_mode()) {
     auto [done_ops, pending_ops] = provenance_labels(upstream);
     ev::Message m;
-    m.type = kMsgSwitchToDisk;
+    m.type_id = kMidSwitchToDisk;
     m.payload = SwitchToDiskPayload{done_ops, pending_ops};
     co_await request_cm(survivor, std::move(m));
     if (survivor->online()) survivor->set_sink(true);
@@ -181,16 +181,16 @@ des::Task<ev::Message> GlobalManager::escalate_fence(Container* c,
   IOC_CHECK(pool_.conserved()) << "pool corrupted fencing " << name;
   hub_.reset_container(name);
   ev::Message reply;
-  reply.type = kErrFenced;
+  reply.type_id = kMidErrFenced;
   reply.token = token;
   co_return reply;
 }
 
 des::Task<ev::Message> GlobalManager::request_cm(Container* c,
                                                  ev::Message m) {
-  const std::string type = m.type;
+  const std::string_view type = m.type();
   const des::SimTime t0 = env_.sim->now();
-  trace_control(c->name(), m.type, /*to_cm=*/true, 0);
+  trace_control(c->name(), std::string(m.type()), /*to_cm=*/true, 0);
   const CmState from = cm_state(c->name());
   // One token for the whole round, retries included: the CM-side reply
   // cache recognizes a resend and replays its answer instead of executing
@@ -211,26 +211,27 @@ des::Task<ev::Message> GlobalManager::request_cm(Container* c,
   };
   ev::Message reply = co_await run_control_round(
       *env_.bus, ctl_ep_, c->manager_endpoint(), std::move(m), ropt, hooks);
-  if (reply.type == ev::kErrClosed) {
+  if (reply.type_id == ev::kMidErrClosed) {
     // The GM itself died under this round (simulated crash). Stop quietly;
     // fencing a healthy container for our own failure would throw away its
     // nodes for nothing.
     stopping_ = true;
     co_return reply;
   }
-  if (reply.type == ev::kErrTimeout || reply.type == ev::kErrUnreachable) {
+  if (reply.type_id == ev::kMidErrTimeout ||
+      reply.type_id == ev::kMidErrUnreachable) {
     ev::Message fenced = co_await escalate_fence(c, token);
     co_return fenced;
   }
   int delta = 0;
   if (const auto* done = reply.as<DonePayload>()) delta = done->report.delta;
-  trace_control(c->name(), reply.type, /*to_cm=*/false, delta);
+  trace_control(c->name(), std::string(reply.type()), /*to_cm=*/false, delta);
   // One span per Fig. 3 control round, labeled with the FSM edge the round
   // drove, so a trace shows both what a round cost and why it was legal.
   if (trace::active(env_.trace)) {
     const std::string edge = std::string(cm_state_name(from)) + " -> " +
                              cm_state_name(cm_state(c->name()));
-    env_.trace->span(type.c_str(), "control", c->name(), 0, t0,
+    env_.trace->span(type, "control", c->name(), 0, t0,
                      env_.sim->now(),
                      {{"delta", static_cast<double>(delta)}}, edge);
   }
@@ -275,7 +276,7 @@ des::Task<ProtocolReport> GlobalManager::increase(std::string name,
   }
   const des::SimTime t0 = env_.sim->now();
   ev::Message m;
-  m.type = kMsgIncrease;
+  m.type_id = kMidIncrease;
   m.payload = IncreasePayload{nodes};
   ev::Message reply = co_await request_cm(c, std::move(m));
   if (const auto* done = reply.as<DonePayload>()) {
@@ -289,7 +290,7 @@ des::Task<ProtocolReport> GlobalManager::increase(std::string name,
                         rep.state_migration;
   // A fenced round already repaired the pool wholesale (reclaim_all);
   // reclaiming the grant again would throw on the ownership mismatch.
-  if (!rep.ok && reply.type != kErrFenced) pool_.reclaim(name, nodes);
+  if (!rep.ok && reply.type_id != kMidErrFenced) pool_.reclaim(name, nodes);
   IOC_CHECK(pool_.conserved()) << "pool corrupted by increase of " << name;
   hub_.reset_container(name);
   co_return rep;
@@ -307,7 +308,7 @@ des::Task<ProtocolReport> GlobalManager::decrease(std::string name,
   }
   const des::SimTime t0 = env_.sim->now();
   ev::Message m;
-  m.type = kMsgDecrease;
+  m.type_id = kMidDecrease;
   m.payload = DecreasePayload{k};
   ev::Message reply = co_await request_cm(c, std::move(m));
   if (const auto* done = reply.as<DonePayload>()) {
@@ -392,7 +393,7 @@ des::Task<ProtocolReport> GlobalManager::offline_cascade(
   if (survivor != nullptr && survivor->online()) {
     auto [done_ops, pending_ops] = provenance_labels(upstream);
     ev::Message m;
-    m.type = kMsgSwitchToDisk;
+    m.type_id = kMidSwitchToDisk;
     m.payload = SwitchToDiskPayload{done_ops, pending_ops};
     co_await request_cm(survivor, std::move(m));
     survivor->set_sink(true);
@@ -406,7 +407,7 @@ des::Task<ProtocolReport> GlobalManager::offline_cascade(
     Container* c = find(cname);
     if (c == nullptr || !c->online()) continue;
     ev::Message m;
-    m.type = kMsgOffline;
+    m.type_id = kMidOffline;
     ev::Message reply = co_await request_cm(c, std::move(m));
     if (const auto* done = reply.as<DonePayload>()) {
       pool_.reclaim(cname, done->freed_nodes);
@@ -441,7 +442,7 @@ des::Task<bool> GlobalManager::enable_hashes(std::string name,
   Container* c = find(name);
   if (c == nullptr) co_return false;
   ev::Message m;
-  m.type = kMsgEnableHashes;
+  m.type_id = kMidEnableHashes;
   m.payload = EnableHashesPayload{enabled};
   co_return co_await env_.bus->post(ctl_ep_, c->manager_endpoint(),
                                     std::move(m));
@@ -463,14 +464,14 @@ des::Task<ProtocolReport> GlobalManager::activate(std::string name,
     co_return rep;
   }
   ev::Message m;
-  m.type = kMsgActivate;
+  m.type_id = kMidActivate;
   m.payload = IncreasePayload{nodes};
   ev::Message reply = co_await request_cm(c, std::move(m));
   if (const auto* done = reply.as<DonePayload>()) {
     rep = done->report;
   } else {
     rep.ok = false;
-    if (reply.type != kErrFenced) pool_.reclaim(name, nodes);
+    if (reply.type_id != kMidErrFenced) pool_.reclaim(name, nodes);
   }
   recompute_sinks();
   log_event("activate", name, "dynamic branch", rep.delta, rep);
@@ -481,7 +482,7 @@ des::Task<bool> GlobalManager::try_feed(Container* c, std::string why) {
   // Ask the container's local manager what it needs (only it understands
   // its component's speedup behaviour).
   ev::Message q;
-  q.type = kMsgQueryNeeds;
+  q.type_id = kMidQueryNeeds;
   ev::Message reply = co_await request_cm(c, std::move(q));
   const auto* needs = reply.as<NeedsPayload>();
   std::uint32_t want = needs != nullptr ? needs->extra_nodes : 0;

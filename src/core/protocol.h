@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "des/time.h"
+#include "ev/intern.h"
 #include "net/cluster.h"
 
 namespace ioc::core {
@@ -29,6 +30,27 @@ inline constexpr const char* kMsgEnableHashes = "ENABLE_HASHES";
 /// CM -> GM liveness probe (monitoring class); a failed send is how a
 /// container detects a dead global manager and triggers failover.
 inline constexpr const char* kMsgHeartbeat = "HEARTBEAT";
+
+// Interned ids of the message types above (ev/intern.h): dispatch sites
+// compare these u16s instead of strings; Message::type() still yields the
+// exact spelling for logs and trace replay.
+inline const ev::MessageId kMidIncrease = ev::intern_type(kMsgIncrease);
+inline const ev::MessageId kMidDecrease = ev::intern_type(kMsgDecrease);
+inline const ev::MessageId kMidOffline = ev::intern_type(kMsgOffline);
+inline const ev::MessageId kMidQueryNeeds = ev::intern_type(kMsgQueryNeeds);
+inline const ev::MessageId kMidSwitchToDisk = ev::intern_type(kMsgSwitchToDisk);
+inline const ev::MessageId kMidActivate = ev::intern_type(kMsgActivate);
+inline const ev::MessageId kMidDone = ev::intern_type(kMsgDone);
+inline const ev::MessageId kMidNeeds = ev::intern_type(kMsgNeeds);
+inline const ev::MessageId kMidReplicaHello = ev::intern_type(kMsgReplicaHello);
+inline const ev::MessageId kMidReplicaConfig =
+    ev::intern_type(kMsgReplicaConfig);
+inline const ev::MessageId kMidEndpointUpdate =
+    ev::intern_type(kMsgEndpointUpdate);
+inline const ev::MessageId kMidMetric = ev::intern_type(kMsgMetric);
+inline const ev::MessageId kMidEnableHashes =
+    ev::intern_type(kMsgEnableHashes);
+inline const ev::MessageId kMidHeartbeat = ev::intern_type(kMsgHeartbeat);
 
 // Robustness markers in the control trace (docs/ROBUSTNESS.md). They are
 // annotations, not protocol messages: they never advance the Fig. 3 FSM.
@@ -56,6 +78,7 @@ inline constexpr const char* kMarkTradeFence = "TRADE_FENCE";
 /// the bus-level ERROR/* types: the pool has already been repaired, so the
 /// caller must NOT reclaim the nodes it granted for the round.
 inline constexpr const char* kErrFenced = "ERROR/fenced";
+inline const ev::MessageId kMidErrFenced = ev::intern_type(kErrFenced);
 
 /// Where the time of a management operation went. Fig. 4 reports increase
 /// cost with aprun factored out and shows metadata exchange dominating;

@@ -7,9 +7,8 @@ namespace ioc::core {
 
 ResourcePool::ResourcePool(const std::vector<net::NodeId>& nodes) {
   for (net::NodeId n : nodes) owner_[n] = "";
+  spares_ = owner_.size();
 }
-
-std::size_t ResourcePool::spare_count() const { return owned_by(""); }
 
 std::size_t ResourcePool::owned_by(const std::string& owner) const {
   std::size_t n = 0;
@@ -47,6 +46,7 @@ std::vector<net::NodeId> ResourcePool::grant(const std::string& owner,
       out.push_back(node);
     }
   }
+  spares_ -= out.size();
   return out;
 }
 
@@ -65,6 +65,7 @@ std::vector<net::NodeId> ResourcePool::grant_near(const std::string& owner,
   });
   if (spare.size() > n) spare.resize(n);
   for (net::NodeId node : spare) owner_[node] = owner;
+  spares_ -= spare.size();
   return spare;
 }
 
@@ -76,6 +77,7 @@ void ResourcePool::reclaim(const std::string& owner,
 std::vector<net::NodeId> ResourcePool::reclaim_all(const std::string& owner) {
   std::vector<net::NodeId> out = nodes_of(owner);
   for (net::NodeId n : out) owner_[n] = "";
+  if (!owner.empty()) spares_ += out.size();
   return out;
 }
 
@@ -89,6 +91,7 @@ std::pair<std::size_t, std::size_t> ResourcePool::reconcile(
         std::find(actual.begin(), actual.end(), node) == actual.end()) {
       o = "";
       ++reclaimed;
+      if (!owner.empty()) ++spares_;
     }
   }
   // Nodes actually held that the ledger lost to the spare set. A node the
@@ -99,6 +102,7 @@ std::pair<std::size_t, std::size_t> ResourcePool::reconcile(
     if (it != owner_.end() && it->second.empty()) {
       it->second = owner;
       ++claimed;
+      if (!owner.empty()) --spares_;
     }
   }
   return {reclaimed, claimed};
@@ -115,11 +119,13 @@ void ResourcePool::attach(const std::string& owner,
     }
   }
   for (net::NodeId n : nodes) owner_[n] = owner;
+  if (owner.empty()) spares_ += nodes.size();
 }
 
 std::vector<net::NodeId> ResourcePool::detach_all(const std::string& owner) {
   std::vector<net::NodeId> out = nodes_of(owner);
   for (net::NodeId n : out) owner_.erase(n);
+  if (owner.empty()) spares_ -= out.size();
   return out;
 }
 
@@ -130,6 +136,7 @@ std::vector<net::NodeId> ResourcePool::detach_spares(std::size_t n) {
     if (o.empty()) out.push_back(node);
   }
   for (net::NodeId node : out) owner_.erase(node);
+  spares_ -= out.size();
   return out;
 }
 
@@ -144,6 +151,11 @@ void ResourcePool::transfer(const std::string& from, const std::string& to,
     }
   }
   for (net::NodeId n : nodes) owner_[n] = to;
+  if (from.empty() && !to.empty()) {
+    spares_ -= nodes.size();
+  } else if (!from.empty() && to.empty()) {
+    spares_ += nodes.size();
+  }
 }
 
 bool ResourcePool::conserved() const {
@@ -151,7 +163,11 @@ bool ResourcePool::conserved() const {
   for (const auto& [node, o] : owner_) ++counts[o];
   std::size_t sum = 0;
   for (const auto& [o, c] : counts) sum += c;
-  return sum == owner_.size();
+  // The incremental spare counter must agree with the ledger it shadows;
+  // a drift here means some mutation forgot to maintain it.
+  auto spare_it = counts.find("");
+  const std::size_t scanned = spare_it == counts.end() ? 0 : spare_it->second;
+  return sum == owner_.size() && scanned == spares_;
 }
 
 }  // namespace ioc::core

@@ -20,7 +20,10 @@ class ResourcePool {
   explicit ResourcePool(const std::vector<net::NodeId>& nodes);
 
   std::size_t total() const { return owner_.size(); }
-  std::size_t spare_count() const;
+  /// O(1): maintained incrementally by every mutation below. The shard
+  /// heartbeat and policy loops read this every tick, and the former
+  /// scan-the-ledger implementation was a per-beat O(nodes) string walk.
+  std::size_t spare_count() const { return spares_; }
   std::size_t owned_by(const std::string& owner) const;
   std::vector<net::NodeId> nodes_of(const std::string& owner) const;
   /// "" when spare; throws if the node is not in the pool.
@@ -83,6 +86,7 @@ class ResourcePool {
 
  private:
   std::map<net::NodeId, std::string> owner_;  // "" = spare
+  std::size_t spares_ = 0;  // count of "" entries, kept in lockstep
 };
 
 }  // namespace ioc::core

@@ -11,7 +11,7 @@ des::Task<ev::Message> run_control_round(ev::Bus& bus, ev::EndpointId from,
                                          ev::EndpointId to, ev::Message m,
                                          const RoundOptions& opt,
                                          const RoundHooks& hooks) {
-  const std::string type = m.type;
+  const std::string_view type = m.type();
   const std::uint64_t token = m.token;
   auto& sim = bus.sim();
   ev::Message reply;
@@ -21,16 +21,16 @@ des::Task<ev::Message> run_control_round(ev::Bus& bus, ev::EndpointId from,
       // Stop quietly; fencing a healthy peer for our own failure would
       // throw away its nodes for nothing.
       reply = ev::Message{};
-      reply.type = ev::kErrClosed;
+      reply.type_id = ev::kMidErrClosed;
       reply.token = token;
       co_return reply;
     }
     ev::Message send = m;  // keep the original for a possible resend
     reply = co_await bus.request(from, to, std::move(send),
                                  ev::TrafficClass::kControl, opt.timeout);
-    if (reply.type == ev::kErrClosed) co_return reply;
-    const bool timeout = reply.type == ev::kErrTimeout;
-    const bool unreachable = reply.type == ev::kErrUnreachable;
+    if (reply.type_id == ev::kMidErrClosed) co_return reply;
+    const bool timeout = reply.type_id == ev::kMidErrTimeout;
+    const bool unreachable = reply.type_id == ev::kMidErrUnreachable;
     if (!timeout && !unreachable) co_return reply;  // a real reply
     if (hooks.on_marker) hooks.on_marker(kMarkTimeout);
     if (trace::active(hooks.trace)) {

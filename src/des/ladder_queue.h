@@ -10,6 +10,11 @@
 // Three tiers, earliest to latest:
 //   bottom_ : the committed next events, sorted descending by (t, seq) so
 //             pop_back() is the minimum. At most ~one bucket's worth.
+//             Deliberately a sorted vector, not a heap: most pushes in a
+//             cascading simulation are near-"now" events that insert close
+//             to the minimum end, where the insert memmove is a few
+//             entries — measured faster than a heap's full-depth sifts on
+//             both insert and every pop.
 //   rungs_  : arrays of timestamp buckets. rungs_[k+1] refines one bucket of
 //             rungs_[k] with a smaller bucket width, spawned lazily when a
 //             bucket is too big to sort outright. Rung spans form a nested
@@ -103,6 +108,19 @@ class LadderQueue {
     return e;
   }
 
+  /// Pop the minimum into `out` if its timestamp is <= `deadline`; returns
+  /// false (leaving the queue untouched) otherwise or when empty. Lets a
+  /// bounded run loop pay for one refill per event instead of two
+  /// (min_time() + pop()).
+  bool pop_if_at_most(SimTime deadline, T& out) {
+    refill_bottom();
+    if (bottom_.empty() || bottom_.back().t > deadline) return false;
+    out = std::move(bottom_.back());
+    bottom_.pop_back();
+    --size_;
+    return true;
+  }
+
  private:
   struct Rung {
     SimTime start = 0;
@@ -124,7 +142,6 @@ class LadderQueue {
     if (a.t != b.t) return a.t < b.t;
     return a.seq < b.seq;
   }
-
   void insert_bottom(T e) {
     // bottom_ is descending; find the first element not after e.
     auto it = std::lower_bound(

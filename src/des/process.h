@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "des/frame_pool.h"
 #include "des/simulator.h"
 
 namespace ioc::des {
@@ -32,7 +33,7 @@ namespace detail {
 struct ProcessPromise;
 using ProcessHandle = std::coroutine_handle<ProcessPromise>;
 
-struct ProcessPromise {
+struct ProcessPromise : PooledFrame {
   Simulator* sim = nullptr;
   int refs = 0;
   bool started = false;
@@ -178,7 +179,9 @@ struct TaskPromiseStorage<void> {
 template <class T = void>
 class [[nodiscard]] Task {
  public:
-  struct promise_type : detail::TaskPromiseStorage<T> {
+  // Pooled frames: tasks are spun up per bus post / control round, so their
+  // frames come from the des::FramePool freelist instead of the heap.
+  struct promise_type : detail::TaskPromiseStorage<T>, PooledFrame {
     std::coroutine_handle<> continuation;
     std::exception_ptr error;
 

@@ -7,11 +7,11 @@
 #include <cassert>
 #include <coroutine>
 #include <cstddef>
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "des/simulator.h"
+#include "util/ring_deque.h"
 
 namespace ioc::des {
 
@@ -117,13 +117,15 @@ class Queue {
   void close() {
     if (closed_) return;
     closed_ = true;
-    for (auto& w : putters_) sim_->schedule_now(w.h);  // accepted == false
+    putters_.for_each(
+        [this](PutWaiter& w) { sim_->schedule_now(w.h); });  // accepted == false
     putters_.clear();
     // Wake getters only if nothing is left to deliver; otherwise they will
     // drain buffered items first via pump() as usual.
     pump();
     if (items_.empty()) {
-      for (auto& w : getters_) sim_->schedule_now(w.h);  // slot empty -> nullopt
+      getters_.for_each(
+          [this](GetWaiter& w) { sim_->schedule_now(w.h); });  // -> nullopt
       getters_.clear();
     }
   }
@@ -170,16 +172,20 @@ class Queue {
       }
     }
     if (closed_ && items_.empty() && !getters_.empty()) {
-      for (auto& w : getters_) sim_->schedule_now(w.h);
+      getters_.for_each([this](GetWaiter& w) { sim_->schedule_now(w.h); });
       getters_.clear();
     }
   }
 
+  // Ring buffers instead of std::deque: a deque allocates/frees ~512-byte
+  // node blocks as messages flow through, which was measurable heap churn
+  // per delivery; the rings hit their high-watermark size once and then
+  // recycle in place (util/ring_deque.h).
   Simulator* sim_;
   std::size_t capacity_;
-  std::deque<T> items_;
-  std::deque<GetWaiter> getters_;
-  std::deque<PutWaiter> putters_;
+  util::RingDeque<T> items_;
+  util::RingDeque<GetWaiter> getters_;
+  util::RingDeque<PutWaiter> putters_;
   bool closed_ = false;
   std::size_t high_watermark_ = 0;
   std::uint64_t total_put_ = 0;

@@ -30,14 +30,18 @@ std::string format_time(SimTime t) {
   return buf;
 }
 
-void Simulator::schedule_at(SimTime t, std::coroutine_handle<> h) {
-  assert(t >= now_ && "cannot schedule into the past");
-  queue_.push(Entry{t, next_seq_++, h, nullptr});
+Simulator::~Simulator() {
+  // Drain without firing: pending callback nodes are owned by their entries.
+  while (!queue_.empty()) {
+    Entry e = queue_.pop();
+    delete e.fn;
+  }
 }
 
 void Simulator::call_at(SimTime t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule into the past");
-  queue_.push(Entry{t, next_seq_++, nullptr, std::move(fn)});
+  queue_.push(
+      Entry{t, next_seq_++, nullptr, new std::function<void()>(std::move(fn))});
 }
 
 Timer Simulator::timer_at(SimTime t, std::function<void()> fn) {
@@ -58,7 +62,8 @@ bool Simulator::step() {
   if (e.h) {
     e.h.resume();
   } else {
-    e.fn();
+    (*e.fn)();
+    delete e.fn;
   }
   return true;
 }
@@ -70,8 +75,18 @@ SimTime Simulator::run() {
 }
 
 SimTime Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.min_time() <= deadline) {
-    step();
+  // Fused check-and-pop: one queue refill serves both the deadline test and
+  // the extraction, instead of min_time() + pop() each re-checking bottom.
+  Entry e;
+  while (queue_.pop_if_at_most(deadline, e)) {
+    now_ = e.t;
+    ++processed_;
+    if (e.h) {
+      e.h.resume();
+    } else {
+      (*e.fn)();
+      delete e.fn;
+    }
   }
   if (now_ < deadline) now_ = deadline;
   return now_;

@@ -10,10 +10,12 @@
 // order — see DESIGN.md §15 for why every digest survived the swap.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "des/ladder_queue.h"
@@ -49,13 +51,19 @@ class Timer {
 class Simulator {
  public:
   Simulator() = default;
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
 
   /// Schedule a coroutine resumption at absolute time `t` (>= now()).
-  void schedule_at(SimTime t, std::coroutine_handle<> h);
+  /// Inline on purpose: this is the single hottest call in a soak (once per
+  /// suspension), and out-of-line it costs a call per event.
+  void schedule_at(SimTime t, std::coroutine_handle<> h) {
+    assert(t >= now_ && "cannot schedule into the past");
+    queue_.push(Entry{t, next_seq_++, h, nullptr});
+  }
   /// Schedule a coroutine resumption after delay `d` (>= 0).
   void schedule_in(SimTime d, std::coroutine_handle<> h) {
     schedule_at(now_ + d, h);
@@ -91,12 +99,18 @@ class Simulator {
   void attach_logger();
 
  private:
+  // Trivially copyable on purpose: the ladder queue shuffles entries through
+  // vector inserts and sorts millions of times per soak, and a POD entry
+  // turns those into memmoves. Callbacks (timers, rare next to coroutine
+  // resumptions) go through an owned heap node instead of an inline
+  // std::function, whose non-trivial move would poison the whole queue.
   struct Entry {
     SimTime t;
     std::uint64_t seq;
     std::coroutine_handle<> h;       // exactly one of h / fn is active
-    std::function<void()> fn;
+    std::function<void()>* fn;       // owned; freed after firing
   };
+  static_assert(std::is_trivially_copyable_v<Entry>);
 
   LadderQueue<Entry> queue_;
   SimTime now_ = 0;

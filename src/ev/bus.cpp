@@ -16,39 +16,32 @@ const char* traffic_class_name(TrafficClass c) {
 
 Bus::Bus(net::Network& network) : network_(&network) {}
 
-des::Simulator& Bus::sim() const { return network_->cluster().sim(); }
-
 Endpoint& Bus::open(net::NodeId node, std::string name) {
   EndpointId id = next_id_++;
   auto ep = std::make_unique<Endpoint>(sim(), id, node, std::move(name));
   Endpoint& ref = *ep;
-  endpoints_[id] = std::move(ep);
+  endpoints_.push_back(std::move(ep));  // id N lives at slot N-1
   return ref;
 }
 
 void Bus::close(EndpointId id) {
-  auto it = endpoints_.find(id);
-  if (it == endpoints_.end()) return;
-  it->second->mailbox().close();
-  endpoints_.erase(it);
-}
-
-Endpoint* Bus::find(EndpointId id) {
-  auto it = endpoints_.find(id);
-  return it == endpoints_.end() ? nullptr : it->second.get();
+  Endpoint* ep = find(id);
+  if (ep == nullptr) return;
+  ep->mailbox().close();
+  endpoints_[id - 1].reset();  // tombstone: the id is never reused
 }
 
 Endpoint* Bus::find_by_name(const std::string& name) {
-  for (auto& [id, ep] : endpoints_) {
-    if (ep->name() == name) return ep.get();
+  for (auto& ep : endpoints_) {
+    if (ep != nullptr && ep->name() == name) return ep.get();
   }
   return nullptr;
 }
 
 std::vector<EndpointId> Bus::endpoints_on(net::NodeId node) const {
   std::vector<EndpointId> out;
-  for (const auto& [id, ep] : endpoints_) {
-    if (ep->node() == node) out.push_back(id);
+  for (const auto& ep : endpoints_) {
+    if (ep != nullptr && ep->node() == node) out.push_back(ep->id());
   }
   return out;
 }
@@ -74,7 +67,26 @@ des::Task<bool> Bus::post(EndpointId from, EndpointId to, Message m,
   const net::NodeId dst_node = dst->node();
   FaultHook::Decision fault;
   if (fault_ != nullptr) fault = fault_->on_post(src_node, dst_node, m, cls);
-  co_await network_->transfer(src_node, dst_node, m.size_bytes);
+  // Network::transfer's protocol, folded inline so the message pays for one
+  // coroutine frame instead of two. The await sequence (and therefore every
+  // scheduled event's (t, seq)) is identical to calling transfer(); keep the
+  // two in lockstep.
+  auto& sim = network_->cluster().sim();
+  network_->note_transfer(m.size_bytes);
+  if (src_node == dst_node) {
+    co_await des::delay(sim, network_->config().message_overhead);
+  } else {
+    const des::SimTime requested = sim.now();
+    co_await network_->cluster().egress(src_node).acquire();
+    co_await network_->cluster().ingress(dst_node).acquire();
+    if (sim.now() != requested) {
+      network_->note_contention(des::to_seconds(sim.now() - requested));
+    }
+    co_await des::delay(sim, network_->wire_time(m.size_bytes));
+    network_->cluster().ingress(dst_node).release();
+    network_->cluster().egress(src_node).release();
+    co_await des::delay(sim, network_->wire_latency(src_node, dst_node));
+  }
   if (fault.drop) {
     // A lossy-transport drop: the sender already paid the send cost and
     // believes the message left; nothing arrives. Recovery is the
@@ -83,7 +95,7 @@ des::Task<bool> Bus::post(EndpointId from, EndpointId to, Message m,
     co_return true;
   }
   if (fault.extra_delay > 0) {
-    co_await des::delay(sim(), fault.extra_delay);
+    co_await des::delay(sim, fault.extra_delay);
   }
   // The destination may have closed while the message was in flight.
   Endpoint* live = find(to);
@@ -109,7 +121,7 @@ des::Task<Message> Bus::request(EndpointId from, EndpointId to, Message m,
   bool sent = co_await post(from, to, std::move(m), cls);
   if (!sent) {
     Message err;
-    err.type = kErrUnreachable;
+    err.type_id = kMidErrUnreachable;
     err.token = token;
     co_return err;
   }
@@ -118,7 +130,7 @@ des::Task<Message> Bus::request(EndpointId from, EndpointId to, Message m,
     timer = sim().timer_in(timeout, [this, from, token] {
       if (Endpoint* ep = find(from)) {
         Message t;
-        t.type = kErrTimeout;
+        t.type_id = kMidErrTimeout;
         t.token = token;
         ep->mailbox().try_put(std::move(t));
       }
@@ -134,12 +146,12 @@ des::Task<Message> Bus::request(EndpointId from, EndpointId to, Message m,
       co_return std::move(*reply);
     }
     IOC_WARN << "bus: endpoint " << from
-             << " discarding out-of-band message " << reply->type
+             << " discarding out-of-band message " << reply->type()
              << " while awaiting token " << token;
   }
   timer.cancel();
   Message err;
-  err.type = kErrClosed;
+  err.type_id = kMidErrClosed;
   err.token = token;
   co_return err;
 }

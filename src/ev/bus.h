@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,10 +35,14 @@ struct TrafficStats {
 };
 
 // Synthetic reply types Bus::request resolves to when no real reply can
-// arrive. Callers distinguish them by exact type string.
+// arrive. Callers distinguish them by interned id (kMidErr*); the strings
+// remain the canonical spelling for logs and replay.
 inline constexpr const char* kErrUnreachable = "ERROR/unreachable";
 inline constexpr const char* kErrClosed = "ERROR/closed";
 inline constexpr const char* kErrTimeout = "ERROR/timeout";
+inline const MessageId kMidErrUnreachable = intern_type(kErrUnreachable);
+inline const MessageId kMidErrClosed = intern_type(kErrClosed);
+inline const MessageId kMidErrTimeout = intern_type(kErrTimeout);
 
 /// Interception point for deterministic fault injection (src/fault). The
 /// bus consults the installed hook once per delivery, after the transfer
@@ -80,7 +83,7 @@ class Bus {
  public:
   explicit Bus(net::Network& network);
 
-  des::Simulator& sim() const;
+  des::Simulator& sim() const { return network_->cluster().sim(); }
   net::Network& network() const { return *network_; }
 
   /// Create an endpoint on a node. Names are for diagnostics/lookup and need
@@ -90,7 +93,10 @@ class Bus {
   /// dropped.
   void close(EndpointId id);
 
-  Endpoint* find(EndpointId id);
+  Endpoint* find(EndpointId id) {
+    if (id == 0 || id > endpoints_.size()) return nullptr;
+    return endpoints_[id - 1].get();
+  }
   /// First live endpoint with the given name, or nullptr.
   Endpoint* find_by_name(const std::string& name);
   /// Every live endpoint currently placed on `node`.
@@ -129,8 +135,12 @@ class Bus {
   std::uint64_t injected_drops() const { return injected_drops_; }
 
  private:
+  // Endpoints indexed by id (id N lives at slot N-1); closed endpoints
+  // leave a null tombstone so ids stay unique and find() stays O(1).
+  // Iteration in slot order matches the id-ordered walk the former
+  // std::map did, so name lookup and close_node order are unchanged.
   net::Network* network_;
-  std::map<EndpointId, std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
   EndpointId next_id_ = 1;
   std::uint64_t next_token_ = 1;
   TrafficStats stats_[4];

@@ -1,12 +1,17 @@
-// Control/monitoring message type carried by the EVPath-like bus. Payloads
-// are passed by value through std::any (the simulation is single-process);
-// what matters to the models is the on-the-wire size, carried explicitly.
+// Control/monitoring message type carried by the EVPath-like bus. The type
+// is an interned 16-bit id (ev/intern.h) — dispatch compares integers, and
+// type() materializes the exact original string for logs and lint/verify
+// replay. Payloads are passed by value through a small-buffer container
+// (ev/payload.h): every steady-state payload struct lives inline in the
+// message, so posting one allocates nothing. What matters to the models is
+// the on-the-wire size, carried explicitly in size_bytes.
 #pragma once
 
-#include <any>
 #include <cstdint>
-#include <string>
+#include <string_view>
 
+#include "ev/intern.h"
+#include "ev/payload.h"
 #include "net/cluster.h"
 
 namespace ioc::ev {
@@ -15,16 +20,22 @@ using EndpointId = std::uint32_t;
 inline constexpr EndpointId kInvalidEndpoint = static_cast<EndpointId>(-1);
 
 struct Message {
-  std::string type;                 ///< e.g. "INCREASE_REQ", "PAUSED"
+  MessageId type_id = kNoMessageId;  ///< e.g. id of "INCREASE_REQ"
   EndpointId from = kInvalidEndpoint;
   EndpointId to = kInvalidEndpoint;
   std::uint64_t token = 0;          ///< correlation id for request/reply
   std::uint64_t size_bytes = 256;   ///< control messages are small
-  std::any payload;
+  Payload payload;
+
+  /// The type string, byte-identical to what was interned.
+  std::string_view type() const { return type_name(type_id); }
+  /// Set the type from a string (interned; prefer the pre-interned kMid*
+  /// constants on hot paths).
+  void set_type(std::string_view t) { type_id = intern_type(t); }
 
   template <class T>
   const T* as() const {
-    return std::any_cast<T>(&payload);
+    return payload.as<T>();
   }
 };
 

@@ -88,7 +88,18 @@ class Fleet {
 
   /// Drive the whole soak: start everything, run to the horizon, settle,
   /// snapshot the Result, then tear the control plane down and drain.
+  /// Equivalent to start_soak(); advance_to(horizon + settle); snapshot().
   Result run();
+
+  /// Phase-split soak driver for benchmarks that need to observe the
+  /// simulation mid-flight (e.g. fleet_scale measures wall-clock and
+  /// allocation counts over a steady-state window, excluding construction
+  /// and cold-start effects). Call start_soak() once, advance_to() any
+  /// number of times with non-decreasing targets, then snapshot() after the
+  /// settle point. run() composes exactly these three.
+  void start_soak();
+  void advance_to(des::SimTime t);
+  Result snapshot();
 
   des::Simulator& sim() { return sim_; }
   ev::Bus& bus() { return bus_; }
@@ -129,6 +140,9 @@ class Fleet {
   std::vector<std::unique_ptr<FedPipeline>> pipelines_;
   std::size_t initial_nodes_ = 0;
   std::size_t demand_cap_ = 0;
+  /// Bumped by any pipeline transitioning to fenced; the workload's
+  /// incremental demand-cap sum rebuilds when it moves.
+  std::uint64_t fence_ticks_ = 0;
 };
 
 }  // namespace ioc::fed

@@ -42,6 +42,7 @@ void FedPipeline::note_converged() {
 void FedPipeline::fence() {
   if (fenced_) return;
   fenced_ = true;
+  if (fence_tick_ != nullptr) ++*fence_tick_;
   demand_since_ = -1;
   nodes_.clear();
   if (ep_ != ev::kInvalidEndpoint) {
@@ -66,7 +67,7 @@ des::Process FedPipeline::service_loop() {
       // with a reply — matches a real CM that tore down the dead GM's
       // session: the stale coordinator gets silence, never a state change.
       ++stale_owner_drops_;
-      IOC_WARN << "pipeline " << name_ << ": dropping stale " << msg->type
+      IOC_WARN << "pipeline " << name_ << ": dropping stale " << msg->type()
                << " from non-owner endpoint " << msg->from;
       continue;
     }
@@ -80,7 +81,7 @@ des::Process FedPipeline::service_loop() {
 
     ev::Message reply;
     reply.token = msg->token;
-    if (msg->type == core::kMsgIncrease) {
+    if (msg->type_id == core::kMidIncrease) {
       const auto* pay = msg->as<core::IncreasePayload>();
       co_await des::delay(sim, opt_.apply_delay);
       if (fenced_ || bus_->find(ep_) == nullptr) break;  // fenced mid-apply
@@ -96,9 +97,9 @@ des::Process FedPipeline::service_loop() {
       done.report.delta = static_cast<int>(added);
       done.report.total = opt_.apply_delay;
       done.report.ok = true;
-      reply.type = core::kMsgDone;
+      reply.type_id = core::kMidDone;
       reply.payload = std::move(done);
-    } else if (msg->type == core::kMsgDecrease) {
+    } else if (msg->type_id == core::kMidDecrease) {
       const auto* pay = msg->as<core::DecreasePayload>();
       co_await des::delay(sim, opt_.apply_delay);
       if (fenced_ || bus_->find(ep_) == nullptr) break;
@@ -115,14 +116,14 @@ des::Process FedPipeline::service_loop() {
       done.report.total = opt_.apply_delay;
       done.report.ok = true;
       done.freed_nodes = std::move(freed);
-      reply.type = core::kMsgDone;
+      reply.type_id = core::kMidDone;
       reply.payload = std::move(done);
-    } else if (msg->type == core::kMsgQueryNeeds) {
+    } else if (msg->type_id == core::kMidQueryNeeds) {
       core::NeedsPayload needs;
       needs.extra_nodes = target_ > width()
                               ? static_cast<std::uint32_t>(target_ - width())
                               : 0;
-      reply.type = core::kMsgNeeds;
+      reply.type_id = core::kMidNeeds;
       reply.payload = needs;
     } else {
       continue;  // not part of the resize conversation

@@ -46,6 +46,12 @@ class FedPipeline {
   /// Ground truth for ResourcePool::reconcile after a failover.
   const std::vector<net::NodeId>& nodes() const { return nodes_; }
   bool fenced() const { return fenced_; }
+  /// Optional observer bumped exactly once when the pipeline transitions to
+  /// fenced. The fleet workload keeps its demand-cap sum incremental and
+  /// uses this tick to know when a full rebuild is due — without it, every
+  /// raise attempt rescans all pipelines, which dominates wall time at
+  /// thousands of pipelines.
+  void set_fence_tick(std::uint64_t* tick) { fence_tick_ = tick; }
 
   /// Only control requests from this endpoint are honored. Set at placement
   /// and on every failover handover (Shard::adopt).
@@ -83,6 +89,7 @@ class FedPipeline {
   std::vector<net::NodeId> nodes_;
   std::size_t target_ = 0;
   bool fenced_ = false;
+  std::uint64_t* fence_tick_ = nullptr;
   des::SimTime demand_since_ = -1;  // -1: no unmet demand outstanding
   std::vector<des::SimTime> resize_latencies_;
   std::uint64_t resizes_applied_ = 0;

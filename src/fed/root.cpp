@@ -20,8 +20,9 @@ constexpr std::uint64_t kPhaseVote = 1;
 constexpr std::uint64_t kPhaseDecide = 2;
 
 bool is_round_error(const ev::Message& r) {
-  return r.type == ev::kErrTimeout || r.type == ev::kErrUnreachable ||
-         r.type == ev::kErrClosed;
+  return r.type_id == ev::kMidErrTimeout ||
+         r.type_id == ev::kMidErrUnreachable ||
+         r.type_id == ev::kMidErrClosed;
 }
 }  // namespace
 
@@ -37,7 +38,7 @@ void Root::add_shard(Shard* s) {
   shards_.push_back(s);
   ring_.add(s->manager_id());
   s->set_root(ctl_ep_);
-  last_hb_[s->manager_id()] = bus_->sim().now();
+  health_[s->manager_name()].last_hb = bus_->sim().now();
 }
 
 void Root::start() {
@@ -78,12 +79,14 @@ des::Process Root::service_loop() {
     if (self == nullptr) break;
     auto msg = co_await self->mailbox().get();
     if (!msg.has_value()) break;
-    if (msg->type == core::kMsgHeartbeat) {
+    if (msg->type_id == core::kMidHeartbeat) {
       if (const auto* hb = msg->as<HeartbeatWire>()) {
-        last_hb_[hb->shard] = bus_->sim().now();
-        spares_[hb->shard] = hb->spares;
+        ShardHealth& h = health_[hb->shard];
+        h.last_hb = bus_->sim().now();
+        h.spares = hb->spares;
+        h.load = *hb;
       }
-    } else if (msg->type == kMsgTradeReq) {
+    } else if (msg->type_id == kMidTradeReq) {
       if (const auto* req = msg->as<TradeRequestWire>()) {
         // Latest ask wins; the trade loop drains one request at a time.
         pending_req_[req->recipient] = req->count;
@@ -99,7 +102,8 @@ des::Process Root::sweep_loop() {
     if (stopped_) break;
     for (Shard* s : shards_) {
       if (s->fenced()) continue;
-      const des::SimTime silent = sim.now() - last_hb_[s->manager_id()];
+      const des::SimTime silent =
+          sim.now() - health_[s->manager_name()].last_hb;
       if (silent > opt_.heartbeat_timeout) failover(s);
     }
   }
@@ -199,7 +203,7 @@ des::Process Root::trade_loop() {
     std::uint32_t best = 0;
     for (Shard* s : shards_) {
       if (s->failed() || s->manager_id() == recip_id) continue;
-      const std::uint32_t sp = spares_[s->manager_id()];
+      const std::uint32_t sp = health_[s->manager_name()].spares;
       if (sp > best) {
         best = sp;
         donor = s;
@@ -223,10 +227,10 @@ des::Task<void> Root::run_trade(Shard* donor, Shard* recipient,
   hooks.peer = tid;
   hooks.trace = opt_.trace;
   hooks.on_marker = [this, tid](const char* mk) { trace_marker(tid, mk); };
-  auto round = [&](const char* type, std::uint64_t phase, Shard* member,
+  auto round = [&](ev::MessageId type, std::uint64_t phase, Shard* member,
                    const TradeWire& w) -> des::Task<ev::Message> {
     ev::Message m;
-    m.type = type;
+    m.type_id = type;
     m.token = txn::d2t_token(txn, phase);
     m.payload = w;
     return core::run_control_round(*bus_, trade_ep_,
@@ -241,13 +245,13 @@ des::Task<void> Root::run_trade(Shard* donor, Shard* recipient,
   bool recipient_reachable = true;
 
   // Round 1: begin.
-  ev::Message bd = co_await round(txn::kBeginMsg, kDonorBase + kPhaseBegin,
+  ev::Message bd = co_await round(txn::kMidBegin, kDonorBase + kPhaseBegin,
                                   donor, wire);
   if (is_round_error(bd)) {
     fenced_round = true;
     donor_reachable = false;
   }
-  ev::Message br = co_await round(txn::kBeginMsg,
+  ev::Message br = co_await round(txn::kMidBegin,
                                   kRecipientBase + kPhaseBegin, recipient,
                                   wire);
   if (is_round_error(br)) {
@@ -262,19 +266,19 @@ des::Task<void> Root::run_trade(Shard* donor, Shard* recipient,
   bool recipient_yes = false;
   std::vector<net::NodeId> nodes;
   if (donor_reachable && recipient_reachable) {
-    ev::Message vd = co_await round(txn::kVoteMsg, kDonorBase + kPhaseVote,
+    ev::Message vd = co_await round(txn::kMidVote, kDonorBase + kPhaseVote,
                                     donor, wire);
-    if (vd.type == txn::kVoteYesReply) {
+    if (vd.type_id == txn::kMidVoteYes) {
       donor_yes = true;
       if (const auto* tw = vd.as<TradeWire>()) nodes = tw->nodes;
     } else if (is_round_error(vd)) {
       fenced_round = true;
       donor_reachable = false;
     }
-    ev::Message vr = co_await round(txn::kVoteMsg,
+    ev::Message vr = co_await round(txn::kMidVote,
                                     kRecipientBase + kPhaseVote, recipient,
                                     wire);
-    if (vr.type == txn::kVoteYesReply) {
+    if (vr.type_id == txn::kMidVoteYes) {
       recipient_yes = true;
     } else if (is_round_error(vr)) {
       fenced_round = true;
@@ -288,7 +292,7 @@ des::Task<void> Root::run_trade(Shard* donor, Shard* recipient,
   TradeWire decided = wire;
   decided.nodes = nodes;
   decided.count = static_cast<std::uint32_t>(nodes.size());
-  const char* decision = commit ? txn::kCommitMsg : txn::kAbortMsg;
+  const ev::MessageId decision = commit ? txn::kMidCommit : txn::kMidAbort;
   if (donor_reachable) {
     ev::Message dd = co_await round(decision, kDonorBase + kPhaseDecide,
                                     donor, decided);

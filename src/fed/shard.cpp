@@ -15,6 +15,7 @@ Shard::Shard(ev::Bus& bus, std::string id, net::NodeId node,
       node_(node),
       pool_(staging),
       opt_(opt) {
+  id_name_ = util::intern(id_);
   ctl_ep_ = bus_->open(node_, "fed.shard." + id_ + ".ctl").id();
   trade_ep_ = bus_->open(node_, "fed.shard." + id_ + ".trade").id();
 }
@@ -171,7 +172,7 @@ des::Process Shard::policy_loop() {
     if (unmet > 0 && pool_.spare_count() == 0 &&
         root_ep_ != ev::kInvalidEndpoint) {
       ev::Message m;
-      m.type = kMsgTradeReq;
+      m.type_id = kMidTradeReq;
       m.payload =
           TradeRequestWire{id_, static_cast<std::uint32_t>(unmet)};
       ++stats_.trade_requests;
@@ -191,10 +192,31 @@ des::Process Shard::heartbeat_loop() {
     }
     if (root_ep_ == ev::kInvalidEndpoint) continue;
     ev::Message m;
-    m.type = core::kMsgHeartbeat;
+    m.type_id = core::kMidHeartbeat;
     m.size_bytes = 64;
-    m.payload = HeartbeatWire{
-        id_, static_cast<std::uint32_t>(pool_.spare_count())};
+    // One batched heartbeat per shard per beat: the per-pipeline aggregates
+    // ride along as payload fields, so fleet-scale liveness stays one
+    // message per shard per round regardless of pipeline count.
+    HeartbeatWire hb;
+    hb.shard = id_name_;
+    hb.spares = static_cast<std::uint32_t>(pool_.spare_count());
+    // One pass over the pipelines gathers all three aggregates — this loop
+    // runs every beat on every shard, so it must not be walked twice.
+    std::uint32_t live = 0;
+    std::uint32_t attached = 0;
+    std::uint32_t unmet = 0;
+    for (const FedPipeline* p : pipelines_) {
+      if (p->fenced()) continue;
+      ++live;
+      attached += static_cast<std::uint32_t>(p->width());
+      if (p->target() > p->width()) {
+        unmet += static_cast<std::uint32_t>(p->target() - p->width());
+      }
+    }
+    hb.pipelines_live = live;
+    hb.nodes_attached = attached;
+    hb.unmet_demand = unmet;
+    m.payload = hb;
     co_await bus_->post(ctl_ep_, root_ep_, std::move(m),
                         ev::TrafficClass::kMonitoring);
   }
@@ -206,14 +228,14 @@ des::Task<void> Shard::resize(FedPipeline* p, int delta) {
   if (delta > 0) {
     granted = pool_.grant(p->name(), static_cast<std::size_t>(delta));
     if (granted.empty()) co_return;  // dry pool; the trade path covers it
-    m.type = core::kMsgIncrease;
+    m.type_id = core::kMidIncrease;
     m.payload = core::IncreasePayload{granted};
   } else {
-    m.type = core::kMsgDecrease;
+    m.type_id = core::kMidDecrease;
     m.payload = core::DecreasePayload{static_cast<std::uint32_t>(-delta)};
   }
   m.token = bus_->fresh_token();
-  trace_control(p->name(), m.type, /*to_cm=*/true, 0);
+  trace_control(p->name(), std::string(m.type()), /*to_cm=*/true, 0);
   core::RoundHooks hooks;
   hooks.peer = p->name();
   hooks.trace = opt_.trace;
@@ -224,20 +246,21 @@ des::Task<void> Shard::resize(FedPipeline* p, int delta) {
   ev::Message reply = co_await core::run_control_round(
       *bus_, ctl_ep_, p->endpoint(), std::move(m), opt_.round, hooks);
   if (fenced_) co_return;  // the root fenced us mid-round: hands off
-  if (reply.type == ev::kErrClosed) {
+  if (reply.type_id == ev::kMidErrClosed) {
     // Our own endpoint died under the round (crash injection): stop without
     // fencing a healthy pipeline for our failure.
     crashed_ = true;
     co_return;
   }
-  if (reply.type == ev::kErrTimeout || reply.type == ev::kErrUnreachable) {
+  if (reply.type_id == ev::kMidErrTimeout ||
+      reply.type_id == ev::kMidErrUnreachable) {
     escalate_fence_pipeline(p);
     co_return;
   }
   int applied = 0;
   const auto* done = reply.as<core::DonePayload>();
   if (done != nullptr) applied = done->report.delta;
-  trace_control(p->name(), reply.type, /*to_cm=*/false, applied);
+  trace_control(p->name(), std::string(reply.type()), /*to_cm=*/false, applied);
   if (done != nullptr) {
     if (!done->report.ok) {
       if (!granted.empty()) pool_.reclaim(p->name(), granted);
@@ -280,13 +303,13 @@ des::Process Shard::participant_loop() {
     if (!msg.has_value()) break;
     if (fenced_) continue;
 
-    if (msg->type == txn::kBeginMsg) {
+    if (msg->type_id == txn::kMidBegin) {
       // Begin changes no state; a retried begin just elicits another ack.
       ev::Message reply;
-      reply.type = txn::kBegunReply;
+      reply.type_id = txn::kMidBegun;
       reply.token = msg->token;
       co_await bus_->post(trade_ep_, msg->from, std::move(reply));
-    } else if (msg->type == txn::kVoteMsg) {
+    } else if (msg->type_id == txn::kMidVote) {
       const auto* wire = msg->as<TradeWire>();
       if (wire == nullptr) continue;
       const auto va = guard_.classify_vote(msg->token);
@@ -295,7 +318,7 @@ des::Process Shard::participant_loop() {
       if (va == txn::D2tMemberGuard::VoteAction::kStaleNo) {
         // Vote request for a trade that already decided: voting yes now
         // could escrow nodes nobody will ever settle.
-        reply.type = txn::kVoteNoReply;
+        reply.type_id = txn::kMidVoteNo;
       } else if (va == txn::D2tMemberGuard::VoteAction::kReplay) {
         // Retried/duplicated vote: replay the recorded answer — crucially
         // including the escrowed node list, so the root can never see two
@@ -313,30 +336,30 @@ des::Process Shard::participant_loop() {
             out.count = static_cast<std::uint32_t>(esc.size());
             out.nodes = esc;
             escrow_[wire->txn] = std::move(esc);
-            reply.type = txn::kVoteYesReply;
+            reply.type_id = txn::kMidVoteYes;
             reply.payload = std::move(out);
             yes = true;
           } else {
-            reply.type = txn::kVoteNoReply;
+            reply.type_id = txn::kMidVoteNo;
           }
         } else {
           // Recipient prepare reserves nothing: attaching nodes always
           // succeeds, so the recipient can always vote yes.
-          reply.type = txn::kVoteYesReply;
+          reply.type_id = txn::kMidVoteYes;
           yes = true;
         }
         guard_.record_vote(msg->token, yes);
         last_vote_reply_ = reply;
       }
       co_await bus_->post(trade_ep_, msg->from, std::move(reply));
-    } else if (txn::d2t_is_decision(msg->type)) {
+    } else if (txn::d2t_is_decision(msg->type_id)) {
       const auto* wire = msg->as<TradeWire>();
       if (wire != nullptr) {
-        apply_decision(wire->txn, msg->type == txn::kCommitMsg,
+        apply_decision(wire->txn, msg->type_id == txn::kMidCommit,
                        wire->donor == id_, wire->nodes);
       }
       ev::Message reply;
-      reply.type = txn::kFinalReply;
+      reply.type_id = txn::kMidFinal;
       reply.token = msg->token;
       co_await bus_->post(trade_ep_, msg->from, std::move(reply));
     }

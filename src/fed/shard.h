@@ -65,6 +65,10 @@ class Shard : public core::ManagerIf {
 
   // core::ManagerIf
   const std::string& manager_id() const override { return id_; }
+  /// Interned form of manager_id(), cached at construction. The root's
+  /// sweep and trade loops key their heartbeat/spares maps by this id every
+  /// tick; re-interning the string there showed up in the fleet bench.
+  util::NameId manager_name() const { return id_name_; }
   core::ResourcePool& pool() override { return pool_; }
   bool failed() const override { return fenced_ || crashed_; }
   const std::vector<core::ControlTraceEvent>& control_trace() const override {
@@ -130,6 +134,7 @@ class Shard : public core::ManagerIf {
 
   ev::Bus* bus_;
   std::string id_;
+  util::NameId id_name_ = util::kEmptyName;  ///< interned id_, for heartbeats
   net::NodeId node_;
   core::ResourcePool pool_;
   Options opt_;

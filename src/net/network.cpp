@@ -10,6 +10,8 @@ des::SimTime Network::wire_time(std::uint64_t bytes) const {
   return cfg_.message_overhead + des::from_seconds(secs);
 }
 
+// NOTE: Bus::post inlines this exact await sequence (see the comment there);
+// a change here must be mirrored or the two paths' event timings diverge.
 des::Task<void> Network::transfer(NodeId src, NodeId dst,
                                   std::uint64_t bytes) {
   auto& sim = cluster_->sim();
@@ -22,16 +24,15 @@ des::Task<void> Network::transfer(NodeId src, NodeId dst,
   const des::SimTime requested = sim.now();
   co_await cluster_->egress(src).acquire();
   co_await cluster_->ingress(dst).acquire();
-  contention_.add(des::to_seconds(sim.now() - requested));
+  // Only contended transfers record a sample; the consumers (sum, max) are
+  // unaffected and the uncontended fast path skips the double conversion.
+  if (sim.now() != requested) {
+    contention_.add(des::to_seconds(sim.now() - requested));
+  }
   co_await des::delay(sim, wire_time(bytes));
   cluster_->ingress(dst).release();
   cluster_->egress(src).release();
-  des::SimTime wire_latency = cfg_.latency;
-  if (cfg_.per_hop_latency > 0) {
-    const auto hops = src > dst ? src - dst : dst - src;
-    wire_latency += cfg_.per_hop_latency * static_cast<des::SimTime>(hops);
-  }
-  co_await des::delay(sim, wire_latency);
+  co_await des::delay(sim, wire_latency(src, dst));
 }
 
 void Network::reset_stats() {

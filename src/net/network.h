@@ -36,6 +36,27 @@ class Network {
 
   /// Pure serialization time for a payload (no queueing).
   des::SimTime wire_time(std::uint64_t bytes) const;
+  /// Propagation latency between two nodes (flat latency plus the optional
+  /// per-hop topology term).
+  des::SimTime wire_latency(NodeId src, NodeId dst) const {
+    des::SimTime l = cfg_.latency;
+    if (cfg_.per_hop_latency > 0) {
+      const auto hops = src > dst ? src - dst : dst - src;
+      l += cfg_.per_hop_latency * static_cast<des::SimTime>(hops);
+    }
+    return l;
+  }
+
+  // Inline building blocks for callers that fold the transfer protocol into
+  // their own coroutine. Bus::post does this so each message costs one
+  // pooled frame, not two (post + transfer) — at fleet scale the second
+  // ramp/teardown per message is measurable. Any such caller must replicate
+  // transfer()'s await sequence exactly; see that function for the contract.
+  void note_transfer(std::uint64_t bytes) {
+    ++transfer_count_;
+    bytes_moved_ += bytes;
+  }
+  void note_contention(double seconds) { contention_.add(seconds); }
 
   const NetworkConfig& config() const { return cfg_; }
   Cluster& cluster() const { return *cluster_; }

@@ -14,7 +14,7 @@ TraceSink::TraceSink(std::size_t capacity) {
   ring_.resize(std::max<std::size_t>(capacity, 1));
 }
 
-void TraceSink::span(const char* name, const char* category,
+void TraceSink::span(std::string_view name, std::string_view category,
                      std::string_view source, std::uint64_t step,
                      des::SimTime start, des::SimTime end,
                      std::initializer_list<SpanArg> args,
@@ -23,10 +23,12 @@ void TraceSink::span(const char* name, const char* category,
   SpanRecord& slot = ring_[next_];
   next_ = (next_ + 1) % ring_.size();
   ++recorded_;
-  slot.name = name;
-  slot.category = category;
-  slot.source = source;
-  slot.detail = detail;
+  // Interning is a hash probe after the first capture of a given string;
+  // the record itself is a fixed-size value, so this writes no heap.
+  slot.name_id = util::intern(name);
+  slot.category_id = util::intern(category);
+  slot.source_id = util::intern(source);
+  slot.detail_id = util::intern(detail);
   slot.step = step;
   slot.start = start;
   slot.end = end;
@@ -34,7 +36,7 @@ void TraceSink::span(const char* name, const char* category,
   for (const SpanArg& a : args) {
     if (slot.arg_count == SpanRecord::kMaxArgs) break;
     StoredArg& stored = slot.args[slot.arg_count++];
-    stored.key = a.key;
+    stored.key_id = util::intern(a.key);
     stored.value = a.value;
   }
 }
@@ -81,31 +83,33 @@ des::SimTime us_to_simtime(double us_value) {
 void emit_events(const std::vector<SpanRecord>& spans, int pid,
                  std::ostringstream& os, bool* first) {
   // Stable small integer ids per source, with "M" metadata naming them.
-  std::map<std::string, int> tids;
+  std::map<util::NameId, int> tids;
   for (const auto& s : spans) {
-    if (tids.count(s.source) != 0) continue;
+    if (tids.count(s.source_id) != 0) continue;
     const int tid = static_cast<int>(tids.size()) + 1;
-    tids[s.source] = tid;
+    tids[s.source_id] = tid;
     if (!*first) os << ",\n";
     *first = false;
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
        << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
-       << json::escape(s.source) << "\"}}";
+       << json::escape(std::string(s.source())) << "\"}}";
   }
   for (const auto& s : spans) {
     if (!*first) os << ",\n";
     *first = false;
-    os << "{\"name\":\"" << json::escape(s.name) << "\",\"cat\":\""
-       << json::escape(s.category) << "\",\"ph\":\"X\",\"pid\":" << pid
-       << ",\"tid\":" << tids[s.source] << ",\"ts\":" << us(s.start)
+    os << "{\"name\":\"" << json::escape(std::string(s.name()))
+       << "\",\"cat\":\"" << json::escape(std::string(s.category()))
+       << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << tids[s.source_id] << ",\"ts\":" << us(s.start)
        << ",\"dur\":" << us(s.duration()) << ",\"args\":{\"step\":" << s.step;
     for (std::uint32_t i = 0; i < s.arg_count; ++i) {
       char val[32];
       std::snprintf(val, sizeof val, "%.17g", s.args[i].value);
-      os << ",\"" << json::escape(s.args[i].key) << "\":" << val;
+      os << ",\"" << json::escape(std::string(util::name_of(s.args[i].key_id)))
+         << "\":" << val;
     }
-    if (!s.detail.empty()) {
-      os << ",\"detail\":\"" << json::escape(s.detail) << "\"";
+    if (!s.detail().empty()) {
+      os << ",\"detail\":\"" << json::escape(std::string(s.detail())) << "\"";
     }
     os << "}}";
   }
@@ -167,14 +171,14 @@ bool from_chrome_json(const std::string& text, std::vector<SpanRecord>* out,
   for (const auto& e : events->array) {
     if (!e.is_object() || e.str_or("ph") != "X") continue;
     SpanRecord s;
-    s.name = e.str_or("name");
-    s.category = e.str_or("cat");
+    s.name_id = util::intern(e.str_or("name"));
+    s.category_id = util::intern(e.str_or("cat"));
     s.start = us_to_simtime(e.num_or("ts", 0));
     s.end = s.start + us_to_simtime(e.num_or("dur", 0));
     const auto key = std::make_pair(static_cast<int>(e.num_or("pid", 1)),
                                     static_cast<int>(e.num_or("tid", 0)));
     if (auto it = thread_names.find(key); it != thread_names.end()) {
-      s.source = it->second;
+      s.source_id = util::intern(it->second);
     }
     if (const json::Value* args = e.find("args");
         args != nullptr && args->is_object()) {
@@ -182,15 +186,15 @@ bool from_chrome_json(const std::string& text, std::vector<SpanRecord>* out,
         if (k == "step" && v.is_number()) {
           s.step = static_cast<std::uint64_t>(v.number);
         } else if (k == "detail" && v.is_string()) {
-          s.detail = v.str;
+          s.detail_id = util::intern(v.str);
         } else if (v.is_number() && s.arg_count < SpanRecord::kMaxArgs) {
           StoredArg& stored = s.args[s.arg_count++];
-          stored.key = k;
+          stored.key_id = util::intern(k);
           stored.value = v.number;
         }
       }
     }
-    out->push_back(std::move(s));
+    out->push_back(s);
   }
   return true;
 }

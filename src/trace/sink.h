@@ -27,11 +27,12 @@ class TraceSink {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
-  /// Record one completed span. Argument keys must be string literals (or
-  /// otherwise outlive the call); at most SpanRecord::kMaxArgs are kept.
-  void span(const char* name, const char* category, std::string_view source,
-            std::uint64_t step, des::SimTime start, des::SimTime end,
-            std::initializer_list<SpanArg> args = {},
+  /// Record one completed span. All strings are interned on capture (a
+  /// hash probe after the first occurrence — no allocation, no copies); at
+  /// most SpanRecord::kMaxArgs are kept.
+  void span(std::string_view name, std::string_view category,
+            std::string_view source, std::uint64_t step, des::SimTime start,
+            des::SimTime end, std::initializer_list<SpanArg> args = {},
             std::string_view detail = {});
 
   /// Retained spans, oldest first.

@@ -2,16 +2,19 @@
 // made inspectable): one record per interval of interest — a timestep's
 // entry→exit passage through a container, a GM↔CM control round, a policy
 // evaluation — carrying virtual start/end times and a handful of numeric
-// arguments. Records are plain values so a sink can keep them in a
-// preallocated ring and exporters can serialize them without touching the
-// runtime.
+// arguments. A record is a fixed-size, trivially-copyable value: every
+// string it used to own (name, category, source, detail, arg keys) is now
+// an interned id (util/intern.h), so capturing a span into the ring copies
+// a few dozen bytes and allocates nothing; the strings materialize only at
+// export time through the accessors.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 #include "des/time.h"
+#include "util/intern.h"
 
 namespace ioc::trace {
 
@@ -22,35 +25,42 @@ struct SpanArg {
   double value;
 };
 
-/// One argument as stored in the ring (key copied; short keys stay SSO).
+/// One argument as stored in the ring (key interned once per distinct
+/// literal, then a pure id copy).
 struct StoredArg {
-  std::string key;
+  util::NameId key_id = util::kEmptyName;
   double value = 0;
 };
 
-/// A completed interval. `source` is the emitting entity (container name,
-/// "gm", "pipeline"); `category` groups spans for the exporters
-/// ("container", "control", "gm"); `detail` carries an optional
+/// A completed interval. `source()` is the emitting entity (container name,
+/// "gm", "pipeline"); `category()` groups spans for the exporters
+/// ("container", "control", "gm"); `detail()` carries an optional
 /// human-readable annotation (e.g. the Fig. 3 FSM edge of a control round).
 struct SpanRecord {
   static constexpr std::size_t kMaxArgs = 4;
 
-  std::string name;
-  std::string category;
-  std::string source;
-  std::string detail;
+  util::NameId name_id = util::kEmptyName;
+  util::NameId category_id = util::kEmptyName;
+  util::NameId source_id = util::kEmptyName;
+  util::NameId detail_id = util::kEmptyName;
   std::uint64_t step = 0;
   des::SimTime start = 0;
   des::SimTime end = 0;
   std::array<StoredArg, kMaxArgs> args;
   std::uint32_t arg_count = 0;
 
+  std::string_view name() const { return util::name_of(name_id); }
+  std::string_view category() const { return util::name_of(category_id); }
+  std::string_view source() const { return util::name_of(source_id); }
+  std::string_view detail() const { return util::name_of(detail_id); }
+
   des::SimTime duration() const { return end - start; }
   double duration_s() const { return des::to_seconds(duration()); }
-  /// Value of the named argument, or `fallback` if absent.
-  double arg_or(const std::string& key, double fallback = 0) const {
+  /// Value of the named argument, or `fallback` if absent. Takes a
+  /// string_view so call sites with literals or views allocate nothing.
+  double arg_or(std::string_view key, double fallback = 0) const {
     for (std::uint32_t i = 0; i < arg_count; ++i) {
-      if (args[i].key == key) return args[i].value;
+      if (util::name_of(args[i].key_id) == key) return args[i].value;
     }
     return fallback;
   }

@@ -68,16 +68,16 @@ des::Process TxnHarness::member_loop(std::size_t index) {
     if (!msg.has_value()) break;
     Member& me = members_[index];
 
-    if (msg->type == kBeginMsg) {
+    if (msg->type_id == kMidBegin) {
       if (me.dies_at <= Phase::kBegin) me.dead = true;
       if (me.dead) continue;
       // Begin changes no state, so a retried/duplicated begin just elicits
       // another (idempotent) ack.
       ev::Message reply;
-      reply.type = kBegunReply;
+      reply.type_id = kMidBegun;
       reply.token = msg->token;
       co_await bus_->post(my_ep, msg->from, std::move(reply));
-    } else if (msg->type == kVoteMsg) {
+    } else if (msg->type_id == kMidVote) {
       if (me.dies_at <= Phase::kVote) me.dead = true;
       if (me.dead) continue;
       const auto va = me.guard.classify_vote(msg->token);
@@ -86,7 +86,7 @@ des::Process TxnHarness::member_loop(std::size_t index) {
         // (tokens encode txn*10 + phase): preparing now would reserve state
         // nobody will ever commit or roll back. Vote no without preparing.
         ev::Message reply;
-        reply.type = kVoteNoReply;
+        reply.type_id = kMidVoteNo;
         reply.token = msg->token;
         co_await bus_->post(my_ep, msg->from, std::move(reply));
         continue;
@@ -105,10 +105,10 @@ des::Process TxnHarness::member_loop(std::size_t index) {
         me.guard.record_vote(msg->token, yes);
       }
       ev::Message reply;
-      reply.type = yes ? kVoteYesReply : kVoteNoReply;
+      reply.type_id = yes ? kMidVoteYes : kMidVoteNo;
       reply.token = msg->token;
       co_await bus_->post(my_ep, msg->from, std::move(reply));
-    } else if (d2t_is_decision(msg->type)) {
+    } else if (d2t_is_decision(msg->type_id)) {
       if (me.dies_at <= Phase::kDecide) me.dead = true;
       if (me.dead) continue;
       // The guard folds both rejection cases (decision for a transaction
@@ -120,7 +120,7 @@ des::Process TxnHarness::member_loop(std::size_t index) {
           D2tMemberGuard::DecideAction::kApply) {
         // First sight of this decision: apply it. Duplicates only re-ack.
         if (me.op != nullptr) {
-          if (msg->type == kCommitMsg) {
+          if (msg->type_id == kMidCommit) {
             me.op->commit();
           } else if (me.prepared) {
             me.op->abort();
@@ -131,7 +131,7 @@ des::Process TxnHarness::member_loop(std::size_t index) {
         me.guard.record_decision(msg->token);
       }
       ev::Message reply;
-      reply.type = kFinalReply;
+      reply.type_id = kMidFinal;
       reply.token = msg->token;
       co_await bus_->post(my_ep, msg->from, std::move(reply));
     }
@@ -140,7 +140,7 @@ des::Process TxnHarness::member_loop(std::size_t index) {
 
 des::Task<TxnHarness::GatherOutcome> TxnHarness::fan_gather(
     ev::EndpointId from, const std::vector<std::size_t>& members,
-    const std::string& type, std::uint64_t token) {
+    ev::MessageId type, std::uint64_t token) {
   GatherOutcome out;
   if (members.empty()) {
     out.complete = true;
@@ -158,7 +158,7 @@ des::Task<TxnHarness::GatherOutcome> TxnHarness::fan_gather(
     for (std::size_t j = 0; j < members.size(); ++j) {
       if (answered[j]) continue;
       ev::Message m;
-      m.type = type;
+      m.type_id = type;
       m.token = token;
       co_await bus_->post(from, members_[members[j]].ep, std::move(m));
     }
@@ -169,7 +169,7 @@ des::Task<TxnHarness::GatherOutcome> TxnHarness::fan_gather(
       ev::Endpoint* ep = bus_->find(from);
       if (ep != nullptr) {
         ev::Message t;
-        t.type = kTimeoutMsg;
+        t.type_id = kMidTimeout;
         t.token = token;
         ep->mailbox().try_put(std::move(t));
       }
@@ -187,11 +187,11 @@ des::Task<TxnHarness::GatherOutcome> TxnHarness::fan_gather(
         co_return out;
       }
       if (msg->token != token) continue;   // stale round traffic
-      if (msg->type == kTimeoutMsg) {
+      if (msg->type_id == kMidTimeout) {
         timed_out = true;
         break;
       }
-      if (!reply_matches(type, msg->type)) continue;
+      if (!d2t_reply_matches(type, msg->type_id)) continue;
       // Deduplicate per member: a duplicated delivery or a reply to both
       // the original and a retry counts once.
       bool fresh = false;
@@ -218,7 +218,8 @@ des::Task<TxnHarness::GatherOutcome> TxnHarness::fan_gather(
     if (backoff > cfg_.retry_backoff_cap) backoff = cfg_.retry_backoff_cap;
     (void)timed_out;  // pending > 0 here implies the deadline fired
     if (trace::active(cfg_.trace)) {
-      cfg_.trace->span("retry", "txn", type, token, sim.now(), sim.now());
+      cfg_.trace->span("retry", "txn", ev::type_name(type), token, sim.now(),
+                       sim.now());
     }
     co_await des::delay(sim, backoff);
   }
@@ -260,7 +261,7 @@ des::Task<TxnResult> TxnHarness::run() {
   const net::NodeId wsub_node = wsub_ep->node();
   const net::NodeId rsub_node = rsub_ep->node();
 
-  auto round = [&](const std::string& type, std::uint64_t token)
+  auto round = [&](ev::MessageId type, std::uint64_t token)
       -> des::Task<std::pair<GatherOutcome, GatherOutcome>> {
     // Coordinator -> sub-coordinator hops (point-to-point, cheap).
     co_await net.transfer(coord_node, wsub_node, 256);
@@ -292,7 +293,7 @@ des::Task<TxnResult> TxnHarness::run() {
   };
 
   // Round 1: begin.
-  auto [bw, br] = co_await round(kBeginMsg, token_base + 0);
+  auto [bw, br] = co_await round(kMidBegin, token_base + 0);
   ++result.rounds;
   result.retries += bw.retries + br.retries;
   const bool all_present = bw.complete && br.complete;
@@ -301,14 +302,14 @@ des::Task<TxnResult> TxnHarness::run() {
   // Round 2: vote (skipped when begin already failed).
   bool all_yes = all_present;
   if (all_present) {
-    auto [vw, vr] = co_await round(kVoteMsg, token_base + 1);
+    auto [vw, vr] = co_await round(kMidVote, token_base + 1);
     ++result.rounds;
     result.retries += vw.retries + vr.retries;
     if (!vw.complete || !vr.complete) escalate("vote");
     auto count_yes = [](const GatherOutcome& g) {
       std::size_t n = 0;
       for (const auto& m : g.replies) {
-        if (m.type == kVoteYesReply) ++n;
+        if (m.type_id == kMidVoteYes) ++n;
       }
       return n;
     };
@@ -322,7 +323,7 @@ des::Task<TxnResult> TxnHarness::run() {
   // Round 3: decide + finalize. Members that miss the decision here are
   // covered by sub-coordinator recovery below.
   const bool commit = all_present && all_yes;
-  auto [dw, dr] = co_await round(commit ? kCommitMsg : kAbortMsg,
+  auto [dw, dr] = co_await round(commit ? kMidCommit : kMidAbort,
                                  token_base + 2);
   ++result.rounds;
   result.retries += dw.retries + dr.retries;

@@ -127,7 +127,7 @@ class TxnHarness {
   /// timer is cancelled the moment the gather completes.
   des::Task<GatherOutcome> fan_gather(ev::EndpointId from,
                                       const std::vector<std::size_t>& members,
-                                      const std::string& type,
+                                      ev::MessageId type,
                                       std::uint64_t token);
   /// True iff `reply` is a legal reply type for a `sent` round message.
   static bool reply_matches(const std::string& sent, const std::string& reply);

@@ -35,6 +35,18 @@ bool d2t_reply_matches(const std::string& sent, const std::string& reply) {
          (r->reply_b != nullptr && reply == r->reply_b);
 }
 
+bool d2t_reply_matches(ev::MessageId sent, ev::MessageId reply) {
+  std::size_t n = 0;
+  const D2tRound* rounds = d2t_rounds(&n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sent != rounds[i].request_id()) continue;
+    if (reply == ev::intern_type(rounds[i].reply_a)) return true;
+    return rounds[i].reply_b != nullptr &&
+           reply == ev::intern_type(rounds[i].reply_b);
+  }
+  return false;
+}
+
 bool d2t_is_decision(const std::string& type) {
   return type == kCommitMsg || type == kAbortMsg;
 }

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <string>
 
+#include "ev/intern.h"
+
 namespace ioc::txn {
 
 // Round messages (coordinator -> member).
@@ -35,6 +37,18 @@ inline constexpr const char* kFinalReply = "TXN_FINAL";
 // Internal gather-deadline marker (never crosses the bus).
 inline constexpr const char* kTimeoutMsg = "__txn_timeout__";
 
+// Interned ids of the round vocabulary — what the runtime harness and the
+// federation participant loops actually dispatch on.
+inline const ev::MessageId kMidBegin = ev::intern_type(kBeginMsg);
+inline const ev::MessageId kMidVote = ev::intern_type(kVoteMsg);
+inline const ev::MessageId kMidCommit = ev::intern_type(kCommitMsg);
+inline const ev::MessageId kMidAbort = ev::intern_type(kAbortMsg);
+inline const ev::MessageId kMidBegun = ev::intern_type(kBegunReply);
+inline const ev::MessageId kMidVoteYes = ev::intern_type(kVoteYesReply);
+inline const ev::MessageId kMidVoteNo = ev::intern_type(kVoteNoReply);
+inline const ev::MessageId kMidFinal = ev::intern_type(kFinalReply);
+inline const ev::MessageId kMidTimeout = ev::intern_type(kTimeoutMsg);
+
 /// Token block per transaction; must exceed the highest phase offset.
 inline constexpr std::uint64_t kTokensPerTxn = 10;
 /// First token block (keeps txn tokens disjoint from control-round tokens).
@@ -48,6 +62,8 @@ struct D2tRound {
   const char* reply_a;      ///< legal reply type
   const char* reply_b;      ///< alternate legal reply (nullptr = none)
   std::uint64_t phase;      ///< token offset within the txn's block
+
+  ev::MessageId request_id() const { return ev::intern_type(request); }
 };
 
 /// The three rounds, in execution order: begin, vote, decide. The decide
@@ -61,9 +77,14 @@ const D2tRound* d2t_round_for(const std::string& sent);
 /// True iff `reply` is a legal reply type for a `sent` round message —
 /// derived from the table, used by the gather loop's reply filter.
 bool d2t_reply_matches(const std::string& sent, const std::string& reply);
+/// Interned-id form of the same test (the hot-path gather filter).
+bool d2t_reply_matches(ev::MessageId sent, ev::MessageId reply);
 
 /// True for TXN_COMMIT / TXN_ABORT.
 bool d2t_is_decision(const std::string& type);
+inline bool d2t_is_decision(ev::MessageId type) {
+  return type == kMidCommit || type == kMidAbort;
+}
 
 /// Round token of phase `phase` in the transaction numbered `txn` (1-based).
 inline std::uint64_t d2t_token(std::uint64_t txn, std::uint64_t phase) {

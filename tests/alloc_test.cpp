@@ -1,0 +1,140 @@
+// Allocation-regression guard for the control plane's hot paths. The
+// tentpole claim of the allocation-free rework is not "few" allocations but
+// ZERO in steady state: after a short warmup (intern tables populated,
+// coroutine frame pools primed, ring buffers at their high-water marks),
+//
+//   * posting a control message across the bus — payload included — and
+//   * capturing a span into a TraceSink ring
+//
+// must not touch the global heap at all. A single operator new anywhere in
+// either path fails this suite, which is a far sharper tripwire than the
+// fleet bench's allocs_per_event < 1 gate (that one tolerates rare
+// percolations like interner growth; this one tolerates nothing inside the
+// measured loop).
+//
+// The counter hooks the replaceable global operator new, so everything —
+// std::function nodes, vector growth, coroutine frames that escaped the
+// pool — is visible to it.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "des/process.h"
+#include "des/simulator.h"
+#include "des/time.h"
+#include "ev/bus.h"
+#include "net/cluster.h"
+#include "net/network.h"
+#include "trace/sink.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ioc {
+namespace {
+
+/// A typical control payload: small, trivially copyable, inline in the
+/// message's small-buffer slot.
+struct PingPayload {
+  std::uint64_t seq = 0;
+  std::uint64_t detail = 0;
+};
+
+des::Process publish_loop(ev::Bus& bus, ev::EndpointId from, ev::EndpointId to,
+                          ev::MessageId mid, int count, int* sent) {
+  for (int i = 0; i < count; ++i) {
+    co_await des::delay(bus.sim(), des::kMillisecond);
+    ev::Message m;
+    m.type_id = mid;
+    m.size_bytes = 64;
+    m.payload = PingPayload{static_cast<std::uint64_t>(i), 7};
+    if (co_await bus.post(from, to, std::move(m),
+                          ev::TrafficClass::kMonitoring)) {
+      ++*sent;
+    }
+  }
+}
+
+des::Process drain_loop(ev::Endpoint& ep, int* got) {
+  for (;;) {
+    auto m = co_await ep.mailbox().get();
+    if (!m.has_value()) co_return;
+    ++*got;
+  }
+}
+
+TEST(AllocFree, SteadyStateBusPublishAllocatesNothing) {
+  des::Simulator sim;
+  net::Cluster cluster{sim, 4};
+  net::Network net{cluster};
+  ev::Bus bus{net};
+  auto& a = bus.open(0, "alloc-test-src");
+  auto& b = bus.open(1, "alloc-test-dst");
+  const ev::MessageId mid = ev::intern_type("ALLOC_TEST/ping");
+
+  int sent = 0;
+  int got = 0;
+  // Warmup leg: first posts populate the frame pools, the mailbox ring, the
+  // ladder queue's vectors, and the traffic ledger. 32 messages is far past
+  // every one-time growth in that list.
+  spawn(sim, drain_loop(b, &got));
+  spawn(sim, publish_loop(bus, a.id(), b.id(), mid, 32, &sent));
+  sim.run();
+  ASSERT_EQ(sent, 32);
+  ASSERT_EQ(got, 32);
+
+  // Steady-state leg: every allocation between these two reads is a
+  // regression — the publish path (message + inline payload + network
+  // protocol + mailbox handoff) must run entirely pool- and stack-side.
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  spawn(sim, publish_loop(bus, a.id(), b.id(), mid, 256, &sent));
+  sim.run();
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(sent, 32 + 256);
+  EXPECT_EQ(got, 32 + 256);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations across 256 steady-state posts";
+
+  bus.close(b.id());  // end-of-stream for the drain loop
+  sim.run();
+}
+
+TEST(AllocFree, SteadyStateSpanCaptureAllocatesNothing) {
+  trace::TraceSink sink(1024);
+
+  // Warmup: interns the name/category/source/detail/key strings and lets
+  // gtest's own machinery settle.
+  for (int i = 0; i < 8; ++i) {
+    sink.span("alloc.span", "alloc-test", "cm0", static_cast<std::uint64_t>(i),
+              i * des::kMillisecond, i * des::kMillisecond + 10,
+              {{"width", 4.0}, {"backlog", 1.0}}, "steady");
+  }
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 512; ++i) {
+    sink.span("alloc.span", "alloc-test", "cm0",
+              static_cast<std::uint64_t>(8 + i), i * des::kMillisecond,
+              i * des::kMillisecond + 10,
+              {{"width", 5.0}, {"backlog", 2.0}}, "steady");
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations across 512 span captures";
+  EXPECT_EQ(sink.size(), 8u + 512u);
+}
+
+}  // namespace
+}  // namespace ioc

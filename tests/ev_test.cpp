@@ -23,7 +23,7 @@ struct BusFixture {
 des::Process sender(Bus& bus, EndpointId from, EndpointId to,
                     std::string type, bool* ok) {
   Message m;
-  m.type = std::move(type);
+  m.set_type(type);
   *ok = co_await bus.post(from, to, std::move(m));
 }
 
@@ -46,7 +46,7 @@ TEST(Bus, PostDeliversAcrossNodes) {
   f.sim.run();
   EXPECT_TRUE(ok);
   ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(got[0].type, "HELLO");
+  EXPECT_EQ(got[0].type(), "HELLO");
   EXPECT_EQ(got[0].from, a.id());
   EXPECT_GT(f.sim.now(), 0);  // delivery paid network time
 }
@@ -79,7 +79,7 @@ des::Process responder(Bus& bus, Endpoint& ep) {
     auto m = co_await ep.mailbox().get();
     if (!m.has_value()) break;
     Message reply;
-    reply.type = "ACK/" + m->type;
+    reply.set_type("ACK/" + std::string(m->type()));
     reply.token = m->token;
     co_await bus.post(ep.id(), m->from, std::move(reply));
   }
@@ -88,9 +88,9 @@ des::Process responder(Bus& bus, Endpoint& ep) {
 des::Process requester(Bus& bus, EndpointId from, EndpointId to,
                        std::string* reply_type) {
   Message m;
-  m.type = "PING";
+  m.set_type("PING");
   Message reply = co_await bus.request(from, to, std::move(m));
-  *reply_type = reply.type;
+  *reply_type = std::string(reply.type());
 }
 
 TEST(Bus, RequestReplyCorrelatesByToken) {
@@ -124,7 +124,7 @@ TEST(Bus, TrafficLedgerSeparatesClasses) {
   bool ok1 = false, ok2 = false;
   auto send_cls = [&](TrafficClass cls, bool* ok) -> des::Process {
     Message m;
-    m.type = "T";
+    m.set_type("T");
     m.size_bytes = 100;
     *ok = co_await f.bus.post(a.id(), b.id(), std::move(m), cls);
   };
@@ -203,7 +203,7 @@ TEST(Bus, RequestSkipsStaleTraffic) {
   auto& b = f.bus.open(1, "server");
   // A stale message with a mismatched token sits in the client mailbox.
   ev::Message stale;
-  stale.type = "OLD";
+  stale.set_type("OLD");
   stale.token = 424242;
   a.mailbox().try_put(std::move(stale));
   std::string reply;

@@ -54,7 +54,7 @@ des::Process sender(ev::Bus& bus, ev::EndpointId from, ev::EndpointId to,
                     int count, des::SimTime spacing) {
   for (int i = 0; i < count; ++i) {
     ev::Message m;
-    m.type = "PING";
+    m.type_id = ev::intern_type("PING");
     m.token = static_cast<std::uint64_t>(i + 1);
     m.size_bytes = 64;
     co_await bus.post(from, to, std::move(m));
@@ -142,7 +142,7 @@ TEST(Injector, PartitionDropsBothDirectionsInsideTheWindowOnly) {
   auto shot = [&f](ev::EndpointId from, ev::EndpointId to,
                    std::uint64_t token) -> des::Process {
     ev::Message m;
-    m.type = "PING";
+    m.type_id = ev::intern_type("PING");
     m.token = token;
     m.size_bytes = 64;
     co_await f.bus.post(from, to, std::move(m));
@@ -204,7 +204,7 @@ des::Process one_request(ev::Bus& bus, ev::EndpointId from, ev::EndpointId to,
                          des::SimTime timeout, ev::Message* out,
                          des::SimTime* resolved_at) {
   ev::Message m;
-  m.type = "PING";
+  m.type_id = ev::intern_type("PING");
   m.size_bytes = 64;
   *out = co_await bus.request(from, to, std::move(m),
                               ev::TrafficClass::kControl, timeout);
@@ -226,7 +226,7 @@ TEST(Injector, RequestResolvesToTimeoutUnderTotalLoss) {
   f.sim.run_until(10 * des::kSecond);
   // The drop looked like a successful send, so the caller waited out its
   // deadline and got the synthetic timeout — not unreachable, not a hang.
-  EXPECT_EQ(reply.type, ev::kErrTimeout);
+  EXPECT_EQ(reply.type(), ev::kErrTimeout);
   EXPECT_GE(resolved_at, 500 * des::kMillisecond);
   EXPECT_LT(resolved_at, 600 * des::kMillisecond);
 }

@@ -413,14 +413,14 @@ TEST(KernelSpan, ParallelKernelsEmitComputeSpans) {
   const auto spans = sink.spans();
   ASSERT_EQ(spans.size(), 2u);
   for (const auto& s : spans) {
-    EXPECT_EQ(s.name, "kernel.compute");
-    EXPECT_EQ(s.category, "kernel");
+    EXPECT_EQ(s.name(), "kernel.compute");
+    EXPECT_EQ(s.category(), "kernel");
     EXPECT_DOUBLE_EQ(s.arg_or("threads"), 2.0);
     EXPECT_DOUBLE_EQ(s.arg_or("atoms"), static_cast<double>(atoms.size()));
     EXPECT_GE(s.end, s.start);
   }
-  EXPECT_EQ(spans[0].source, "bonds");
-  EXPECT_EQ(spans[1].source, "csym");
+  EXPECT_EQ(spans[0].source(), "bonds");
+  EXPECT_EQ(spans[1].source(), "csym");
 
   // Disabled sink: nothing recorded, kernels still run.
   sink.clear();

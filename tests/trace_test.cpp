@@ -43,9 +43,9 @@ TEST(Sink, RecordsAndReadsBack) {
   ASSERT_EQ(sink.size(), 1u);
   const auto spans = sink.spans();
   const SpanRecord& s = spans[0];
-  EXPECT_EQ(s.name, "step");
-  EXPECT_EQ(s.category, "container");
-  EXPECT_EQ(s.source, "bonds");
+  EXPECT_EQ(s.name(), "step");
+  EXPECT_EQ(s.category(), "container");
+  EXPECT_EQ(s.source(), "bonds");
   EXPECT_EQ(s.step, 3u);
   EXPECT_EQ(s.start, 1000);
   EXPECT_EQ(s.end, 2500);
@@ -122,19 +122,19 @@ TEST(ChromeJson, RoundTripPreservesSpanFields) {
   ASSERT_TRUE(from_chrome_json(json, &back, &err)) << err;
   ASSERT_EQ(back.size(), 2u);
 
-  EXPECT_EQ(back[0].name, "step");
-  EXPECT_EQ(back[0].category, "container");
-  EXPECT_EQ(back[0].source, "bonds");
+  EXPECT_EQ(back[0].name(), "step");
+  EXPECT_EQ(back[0].category(), "container");
+  EXPECT_EQ(back[0].source(), "bonds");
   EXPECT_EQ(back[0].step, 7u);
   EXPECT_EQ(back[0].start, des::from_seconds(1.5));
   EXPECT_EQ(back[0].end, des::from_seconds(2.25));
   EXPECT_DOUBLE_EQ(back[0].arg_or("queue_depth", -1), 3);
   EXPECT_DOUBLE_EQ(back[0].arg_or("bytes", -1), 1024);
 
-  EXPECT_EQ(back[1].name, "pause");
-  EXPECT_EQ(back[1].category, "control");
-  EXPECT_EQ(back[1].source, "csym");
-  EXPECT_EQ(back[1].detail, "kRunning -> kPaused");
+  EXPECT_EQ(back[1].name(), "pause");
+  EXPECT_EQ(back[1].category(), "control");
+  EXPECT_EQ(back[1].source(), "csym");
+  EXPECT_EQ(back[1].detail(), "kRunning -> kPaused");
   EXPECT_DOUBLE_EQ(back[1].arg_or("delta", 0), -2);
   EXPECT_EQ(back[1].duration(), des::from_seconds(0.125));
 }
@@ -160,8 +160,8 @@ TEST(ChromeJson, MultiSinkExportSeparatesProcesses) {
   std::vector<SpanRecord> back;
   ASSERT_TRUE(from_chrome_json(json, &back));
   ASSERT_EQ(back.size(), 2u);
-  EXPECT_EQ(back[0].source, "alpha");
-  EXPECT_EQ(back[1].source, "beta");
+  EXPECT_EQ(back[0].source(), "alpha");
+  EXPECT_EQ(back[1].source(), "beta");
   // And the raw JSON carries two distinct pids.
   EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
   EXPECT_NE(json.find("\"pid\":2"), std::string::npos);

@@ -9,12 +9,21 @@
 //     The gated metric is ns_per_atom (wall-clock: baseline comparisons are
 //     a manual/CI-perf step, not a default ctest entry).
 //
-//   ioc.bench.fleet/v1 (bench/fleet_scale -> BENCH_fleet.json): positive
-//     shard/pipeline counts, monotone coverage (a 1-shard and a >1-shard
-//     point must both exist), non-negative resize_p99_ms. The gated metric
-//     is resize_p99_ms, which is *simulated* time under a fixed seed — it
-//     reproduces bit-for-bit on any machine, so the fresh-vs-committed
-//     comparison runs as a default ctest entry.
+//   ioc.bench.fleet/v1, /v2 (bench/fleet_scale -> BENCH_fleet.json):
+//     positive shard/pipeline counts, monotone coverage (a 1-shard and a
+//     >1-shard point must both exist), non-negative resize_p99_ms. v2 rows
+//     must additionally carry a positive events_per_wall_sec and a
+//     non-negative allocs_per_event. Gated metrics: resize_p99_ms (v1 and
+//     v2), which is *simulated* time under a fixed seed — it reproduces
+//     bit-for-bit on any machine, so the fresh-vs-committed comparison runs
+//     as a default ctest entry — plus, for v2, events_per_wall_sec in the
+//     downward direction: a fresh value more than --max-regression percent
+//     *below* the committed one is a throughput regression. That number is
+//     wall-clock (best sustained chunk rate over a large steady-state
+//     window, see bench/fleet_scale.cpp), so the default ctest entry passes
+//     --sim-only, which restricts the gate to the simulated-time metrics;
+//     the full comparison including throughput is the manual/CI-perf step,
+//     where it exists to catch reintroduced per-message costs.
 //
 //   ioc.bench.des/v1 (bench/des_queue_bench -> BENCH_des.json): known
 //     implementations (binary_heap, ladder) and workloads (hold,
@@ -131,8 +140,10 @@ void check_kernels_schema(const ioc::trace::json::Value& root,
   }
 }
 
-/// Fleet-artifact validation (ioc.bench.fleet/v1).
-void check_fleet_schema(const ioc::trace::json::Value& root,
+/// Fleet-artifact validation. v1 rows carry only the deterministic columns;
+/// v2 (the current fleet_scale output) additionally reports the wall-clock
+/// throughput and allocation-rate columns, which must be present and sane.
+void check_fleet_schema(const ioc::trace::json::Value& root, bool v2,
                         const std::string& label,
                         std::vector<std::string>* findings) {
   auto fail = [&](std::string msg) {
@@ -167,6 +178,15 @@ void check_fleet_schema(const ioc::trace::json::Value& root,
       fail(at + " resize_p99_ms must be >= 0");
     }
     if (r.num_or("events") <= 0) fail(at + " events must be > 0");
+    if (v2) {
+      if (r.num_or("events_per_wall_sec") <= 0) {
+        fail(at + " events_per_wall_sec must be > 0");
+      }
+      if (r.find("allocs_per_event") == nullptr ||
+          r.num_or("allocs_per_event") < 0) {
+        fail(at + " allocs_per_event must be present and >= 0");
+      }
+    }
     shard_points.insert(static_cast<long>(shards));
   }
   // The scaling story needs both ends: a single-shard reference point and
@@ -253,24 +273,45 @@ void check_schema(const ioc::trace::json::Value& root, const std::string& label,
   if (schema == "ioc.bench.kernels/v1") {
     check_kernels_schema(root, label, findings);
   } else if (schema == "ioc.bench.fleet/v1") {
-    check_fleet_schema(root, label, findings);
+    check_fleet_schema(root, false, label, findings);
+  } else if (schema == "ioc.bench.fleet/v2") {
+    check_fleet_schema(root, true, label, findings);
   } else if (schema == "ioc.bench.des/v1") {
     check_des_schema(root, label, findings);
   }
 }
 
-/// The metric the per-row regression gate compares for a given schema.
-const char* gated_metric(const std::string& schema) {
-  if (schema == "ioc.bench.fleet/v1") return "resize_p99_ms";
-  if (schema == "ioc.bench.des/v1") return "ns_per_op";
-  return "ns_per_atom";
+/// A metric the per-row regression gate compares, with its direction: for
+/// latency-style metrics growth is the regression, for throughput-style
+/// metrics shrinkage is. Wall-clock metrics are machine-dependent and get
+/// skipped under --sim-only (the default-ctest mode; the full comparison is
+/// the manual/CI-perf step).
+struct GatedMetric {
+  const char* name;
+  bool higher_is_worse;
+  bool wall_clock;
+};
+
+/// The metrics the per-row regression gate compares for a given schema.
+/// fleet/v2 gates both directions at once: resize_p99_ms must not grow and
+/// events_per_wall_sec must not collapse — the pairing that catches "made
+/// the control plane faster by doing less of its job" as well as plain
+/// slowdowns.
+std::vector<GatedMetric> gated_metrics(const std::string& schema) {
+  if (schema == "ioc.bench.fleet/v1") return {{"resize_p99_ms", true, false}};
+  if (schema == "ioc.bench.fleet/v2") {
+    return {{"resize_p99_ms", true, false},
+            {"events_per_wall_sec", false, true}};
+  }
+  if (schema == "ioc.bench.des/v1") return {{"ns_per_op", true, true}};
+  return {{"ns_per_atom", true, true}};
 }
 
 /// Per-row regression gate: every baseline row must still exist and must
 /// not have slowed past the allowance on the schema's gated metric.
 void compare_to_baseline(const ioc::trace::json::Value& fresh,
                          const ioc::trace::json::Value& baseline,
-                         double max_regression_pct,
+                         double max_regression_pct, bool sim_only,
                          std::vector<std::string>* findings) {
   const std::string schema = fresh.str_or("schema");
   if (baseline.str_or("schema") != schema) {
@@ -279,13 +320,13 @@ void compare_to_baseline(const ioc::trace::json::Value& fresh,
                         "'");
     return;
   }
-  const char* metric = gated_metric(schema);
-  std::map<std::string, double> fresh_rows;
+  const std::vector<GatedMetric> metrics = gated_metrics(schema);
+  std::map<std::string, const ioc::trace::json::Value*> fresh_rows;
   if (const auto* results = fresh.find("results");
       results != nullptr && results->is_array()) {
     for (const auto& r : results->array) {
       if (r.is_object() && !r.str_or("benchmark").empty()) {
-        fresh_rows[r.str_or("benchmark")] = r.num_or(metric);
+        fresh_rows[r.str_or("benchmark")] = &r;
       }
     }
   }
@@ -302,15 +343,25 @@ void compare_to_baseline(const ioc::trace::json::Value& fresh,
                           "' is missing from the fresh run (coverage lost)");
       continue;
     }
-    const double base = r.num_or(metric);
-    if (base <= 0) continue;  // zero/absent baseline metric: nothing to gate
-    if (it->second > base * allowance) {
-      char buf[160];
-      std::snprintf(buf, sizeof(buf),
-                    "'%s' regressed %.1f%%: %.1f -> %.1f %s (allowed %.0f%%)",
-                    name.c_str(), (it->second / base - 1.0) * 100.0, base,
-                    it->second, metric, max_regression_pct);
-      findings->push_back(buf);
+    for (const GatedMetric& metric : metrics) {
+      if (sim_only && metric.wall_clock) continue;
+      const double base = r.num_or(metric.name);
+      if (base <= 0) continue;  // zero/absent baseline metric: nothing to gate
+      const double got = it->second->num_or(metric.name);
+      const bool regressed = metric.higher_is_worse
+                                 ? got > base * allowance
+                                 : got * allowance < base;
+      if (regressed) {
+        char buf[160];
+        std::snprintf(
+            buf, sizeof(buf),
+            "'%s' regressed %.1f%%: %.1f -> %.1f %s (allowed %.0f%%)",
+            name.c_str(),
+            metric.higher_is_worse ? (got / base - 1.0) * 100.0
+                                   : (1.0 - got / base) * 100.0,
+            base, got, metric.name, max_regression_pct);
+        findings->push_back(buf);
+      }
     }
   }
 }
@@ -318,7 +369,7 @@ void compare_to_baseline(const ioc::trace::json::Value& fresh,
 int usage() {
   std::fprintf(stderr,
                "usage: bench_check [--baseline FILE] [--max-regression PCT] "
-               "[--update-baseline] <BENCH_*.json>\n");
+               "[--sim-only] [--update-baseline] <BENCH_*.json>\n");
   return 2;
 }
 
@@ -329,6 +380,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   double max_regression_pct = 15.0;
   bool update_baseline = false;
+  bool sim_only = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--baseline") == 0 && i + 1 < argc) {
@@ -336,6 +388,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--max-regression") == 0 && i + 1 < argc) {
       max_regression_pct = std::atof(argv[++i]);
       if (max_regression_pct <= 0) return usage();
+    } else if (std::strcmp(arg, "--sim-only") == 0) {
+      sim_only = true;
     } else if (std::strcmp(arg, "--update-baseline") == 0) {
       update_baseline = true;
     } else if (arg[0] == '-') {
@@ -377,7 +431,8 @@ int main(int argc, char** argv) {
     } else if (!ioc::trace::json::parse(base_text, &base_root, &error)) {
       findings.push_back("baseline " + baseline_path + ": " + error);
     } else {
-      compare_to_baseline(root, base_root, max_regression_pct, &findings);
+      compare_to_baseline(root, base_root, max_regression_pct, sim_only,
+                          &findings);
     }
   }
 

@@ -67,7 +67,7 @@ int cmd_summarize(const std::vector<SpanRecord>& spans,
                   const std::string& path) {
   std::map<std::pair<std::string, std::string>, Rollup> by_series;
   for (const auto& s : spans) {
-    Rollup& r = by_series[{s.category, s.source}];
+    Rollup& r = by_series[{std::string(s.category()), std::string(s.source())}];
     ++r.count;
     r.total_s += s.duration_s();
     r.max_s = std::max(r.max_s, s.duration_s());
@@ -100,10 +100,11 @@ int cmd_top(const std::vector<SpanRecord>& spans, std::size_t n) {
   ioc::util::Table t(
       {"dur (s)", "name", "category", "source", "step", "detail"});
   for (const SpanRecord* s : order) {
-    t.add_row({ioc::util::Table::num(s->duration_s(), 3), s->name,
-               s->category, s->source,
+    t.add_row({ioc::util::Table::num(s->duration_s(), 3),
+               std::string(s->name()), std::string(s->category()),
+               std::string(s->source()),
                ioc::util::Table::num(static_cast<long long>(s->step)),
-               s->detail});
+               std::string(s->detail())});
   }
   t.print("slowest spans:");
   return 0;
@@ -118,12 +119,13 @@ int cmd_export(const std::vector<SpanRecord>& spans,
   if (format == "prom") {
     ioc::trace::MetricsRegistry reg;
     for (const auto& s : spans) {
-      reg.counter("ioc_spans_total", "category=\"" + s.category + "\"",
+      reg.counter("ioc_spans_total",
+                  "category=\"" + std::string(s.category()) + "\"",
                   "Spans recorded, by category.")
           .inc();
       reg.histogram("ioc_span_seconds",
-                    "category=\"" + s.category + "\",source=\"" + s.source +
-                        "\"",
+                    "category=\"" + std::string(s.category()) +
+                        "\",source=\"" + std::string(s.source()) + "\"",
                     "Span durations, by category and source.")
           .observe(s.duration_s());
     }

@@ -45,6 +45,7 @@
 #include "lint/diagnostics.h"
 #include "lint/trace.h"
 #include "trace/sink.h"
+#include "util/intern.h"
 #include "util/config.h"
 #include "verify/checker.h"
 #include "verify/fed_model.h"
@@ -94,15 +95,16 @@ bool write_chrome_trace(const std::string& path, const Report& rep) {
   for (const auto& step : rep.counterexample) {
     for (const auto& ev : step.events) {
       ioc::trace::SpanRecord span;
-      span.name = ev.type;
-      span.category = "control";
-      span.source = ev.container;
-      span.detail = step.label;
+      span.name_id = ioc::util::intern(ev.type);
+      span.category_id = ioc::util::intern("control");
+      span.source_id = ioc::util::intern(ev.container);
+      span.detail_id = ioc::util::intern(step.label);
       span.step = at;
       span.start = static_cast<ioc::des::SimTime>(at) * 1000;
       span.end = span.start + 1000;
-      span.args[0] = {"to_cm", ev.to_cm ? 1.0 : 0.0};
-      span.args[1] = {"delta", static_cast<double>(ev.delta)};
+      span.args[0] = {ioc::util::intern("to_cm"), ev.to_cm ? 1.0 : 0.0};
+      span.args[1] = {ioc::util::intern("delta"),
+                      static_cast<double>(ev.delta)};
       span.arg_count = 2;
       spans.push_back(std::move(span));
       ++at;
