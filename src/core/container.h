@@ -17,7 +17,7 @@
 #include "des/event.h"
 #include "des/process.h"
 #include "dt/stream.h"
-#include "ev/bus.h"
+#include "ev/bus_if.h"
 #include "mon/metric.h"
 #include "net/scheduler.h"
 #include "sio/method.h"
@@ -35,7 +35,7 @@ class Container {
   /// Shared runtime services, owned by the deployment.
   struct Env {
     des::Simulator* sim = nullptr;
-    ev::Bus* bus = nullptr;
+    ev::BusIf* bus = nullptr;
     net::BatchScheduler* batch = nullptr;
     sio::Filesystem* fs = nullptr;
     const sp::CostModel* cost = nullptr;

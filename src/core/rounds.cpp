@@ -7,7 +7,7 @@
 
 namespace ioc::core {
 
-des::Task<ev::Message> run_control_round(ev::Bus& bus, ev::EndpointId from,
+des::Task<ev::Message> run_control_round(ev::BusIf& bus, ev::EndpointId from,
                                          ev::EndpointId to, ev::Message m,
                                          const RoundOptions& opt,
                                          const RoundHooks& hooks) {

@@ -22,7 +22,7 @@
 
 #include "des/process.h"
 #include "des/time.h"
-#include "ev/bus.h"
+#include "ev/bus_if.h"
 #include "trace/sink.h"
 
 namespace ioc::core {
@@ -48,7 +48,7 @@ struct RoundHooks {
 
 /// Drive one control round from `from` to `to`. `m.token` must already be
 /// assigned (one token for the whole round, retries included).
-des::Task<ev::Message> run_control_round(ev::Bus& bus, ev::EndpointId from,
+des::Task<ev::Message> run_control_round(ev::BusIf& bus, ev::EndpointId from,
                                          ev::EndpointId to, ev::Message m,
                                          const RoundOptions& opt,
                                          const RoundHooks& hooks);

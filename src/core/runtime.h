@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,11 @@ class StagedPipeline {
     /// Promote a standby GM automatically when heartbeats detect a crash
     /// (requires heartbeat_interval > 0).
     bool auto_failover = false;
+    /// Control-plane transport. Null (the default) builds the DES ev::Bus;
+    /// a live deployment installs a factory returning svc::SocketBus so the
+    /// same Container/FSM/GM code runs over real kernel sockets. This is
+    /// the composition-time transport switch — there is no #ifdef anywhere.
+    std::function<std::unique_ptr<ev::BusIf>(net::Network&)> bus_factory;
   };
 
   StagedPipeline(PipelineSpec spec, Options opt);
@@ -71,6 +77,19 @@ class StagedPipeline {
   /// output interval; returns once every container has drained (or the
   /// horizon hit). Returns the final virtual time.
   des::SimTime run();
+
+  /// Spawn the container/GM/source loops without stepping the clock. A live
+  /// host (svc::ServiceHost) calls this once, then pumps sim() itself
+  /// between socket events; run() calls it implicitly. Idempotent.
+  void start();
+  /// Drive the pipeline until both the simulator queue and the transport
+  /// are quiescent. With a live transport, virtual time is gated: events at
+  /// the current instant run first, in-flight frames land next, and the
+  /// clock only advances once the wire is empty — otherwise protocol
+  /// timeouts would outrun deliveries that are already in kernel buffers.
+  void pump_to_idle();
+  /// True once every online container drained its input.
+  bool all_done() const { return all_done_; }
 
   // --- results ------------------------------------------------------------
   GlobalManager& gm() { return *gm_; }
@@ -90,7 +109,7 @@ class StagedPipeline {
   dt::Stream& source_stream() { return *source_stream_; }
   net::Network& network() { return *net_; }
   des::Simulator& sim() { return sim_; }
-  ev::Bus& bus() { return *bus_; }
+  ev::BusIf& bus() { return *bus_; }
   /// The fault injector, or nullptr when Options::faults_enabled is false.
   fault::Injector* injector() { return injector_.get(); }
   /// GM promotions performed by the heartbeat-driven auto-failover path.
@@ -110,7 +129,7 @@ class StagedPipeline {
   std::unique_ptr<net::Cluster> cluster_;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<net::BatchScheduler> batch_;
-  std::unique_ptr<ev::Bus> bus_;
+  std::unique_ptr<ev::BusIf> bus_;
   std::unique_ptr<fault::Injector> injector_;
   std::unique_ptr<sio::Filesystem> fs_;
   sp::CostModel cost_;

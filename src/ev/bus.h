@@ -1,152 +1,32 @@
-// EVPath-substitute: named endpoints with mailboxes, message delivery over
-// the modeled network, and a request/reply helper for the rounds of control
-// messages the management protocols exchange (paper Fig. 3).
-//
-// The bus also keeps a ledger of message counts and bytes split by traffic
-// class, because the paper's Fig. 4 discussion distinguishes manager<->global
-// point-to-point messages (negligible) from intra-container metadata
-// exchanges (dominant).
+// EVPath-substitute, DES transport: message delivery over the modeled
+// network on the virtual clock. The endpoint table, request/reply ladder,
+// and traffic ledger live in the transport-agnostic base (bus_if.h); this
+// class supplies only what is specific to simulation — delivery that pays
+// the modeled network cost (paper Fig. 4 distinguishes manager<->global
+// point-to-point messages, negligible, from intra-container metadata
+// exchanges, dominant).
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "des/process.h"
-#include "des/queue.h"
-#include "ev/message.h"
+#include "ev/bus_if.h"
 #include "net/network.h"
 
 namespace ioc::ev {
 
-/// Traffic classes for the accounting ledger.
-enum class TrafficClass {
-  kControl,    ///< manager-to-manager point-to-point control
-  kMetadata,   ///< endpoint/contact metadata exchanges inside a container
-  kMonitoring, ///< monitoring overlay samples
-  kData,       ///< bulk data notifications (DataTap metadata pushes)
-};
-const char* traffic_class_name(TrafficClass c);
-
-struct TrafficStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-};
-
-// Synthetic reply types Bus::request resolves to when no real reply can
-// arrive. Callers distinguish them by interned id (kMidErr*); the strings
-// remain the canonical spelling for logs and replay.
-inline constexpr const char* kErrUnreachable = "ERROR/unreachable";
-inline constexpr const char* kErrClosed = "ERROR/closed";
-inline constexpr const char* kErrTimeout = "ERROR/timeout";
-inline const MessageId kMidErrUnreachable = intern_type(kErrUnreachable);
-inline const MessageId kMidErrClosed = intern_type(kErrClosed);
-inline const MessageId kMidErrTimeout = intern_type(kErrTimeout);
-
-/// Interception point for deterministic fault injection (src/fault). The
-/// bus consults the installed hook once per delivery, after the transfer
-/// cost has been paid — a dropped message still looks like a successful
-/// send at the source, exactly as on a lossy fabric. The hook must be
-/// deterministic given the event order (seeded RNG, no wall-clock).
-class FaultHook {
- public:
-  virtual ~FaultHook() = default;
-  struct Decision {
-    bool drop = false;           ///< deliver nothing
-    bool duplicate = false;      ///< deliver a second copy
-    des::SimTime extra_delay = 0;  ///< added before delivery
-  };
-  virtual Decision on_post(net::NodeId src, net::NodeId dst,
-                           const Message& m, TrafficClass cls) = 0;
-};
-
-class Endpoint {
- public:
-  Endpoint(des::Simulator& sim, EndpointId id, net::NodeId node,
-           std::string name)
-      : id_(id), node_(node), name_(std::move(name)), mailbox_(sim) {}
-
-  EndpointId id() const { return id_; }
-  net::NodeId node() const { return node_; }
-  const std::string& name() const { return name_; }
-  des::Queue<Message>& mailbox() { return mailbox_; }
-
- private:
-  EndpointId id_;
-  net::NodeId node_;
-  std::string name_;
-  des::Queue<Message> mailbox_;
-};
-
-class Bus {
+class Bus : public BusIf {
  public:
   explicit Bus(net::Network& network);
 
-  des::Simulator& sim() const { return network_->cluster().sim(); }
-  net::Network& network() const { return *network_; }
-
-  /// Create an endpoint on a node. Names are for diagnostics/lookup and need
-  /// not be unique (replicas share a base name).
-  Endpoint& open(net::NodeId node, std::string name);
-  /// Drop an endpoint: closes its mailbox; late sends are counted and
-  /// dropped.
-  void close(EndpointId id);
-
-  Endpoint* find(EndpointId id) {
-    if (id == 0 || id > endpoints_.size()) return nullptr;
-    return endpoints_[id - 1].get();
-  }
-  /// First live endpoint with the given name, or nullptr.
-  Endpoint* find_by_name(const std::string& name);
-  /// Every live endpoint currently placed on `node`.
-  std::vector<EndpointId> endpoints_on(net::NodeId node) const;
-  /// Close every endpoint on `node` — the bus-level effect of a node crash.
-  /// Loops blocked on those mailboxes observe end-of-stream and finish.
-  void close_node(net::NodeId node);
+  des::Simulator& sim() const override { return network_->cluster().sim(); }
+  net::Network& network() const override { return *network_; }
 
   /// Deliver a message: pays the network cost from the sender endpoint's
   /// node to the receiver's, then enqueues into the receiver's mailbox.
   /// Returns false if the destination vanished meanwhile.
   des::Task<bool> post(EndpointId from, EndpointId to, Message m,
-                       TrafficClass cls = TrafficClass::kControl);
-
-  /// Send `m` to `to` and suspend until a reply carrying the same token
-  /// arrives in `from`'s mailbox. The caller owns the mailbox: no other
-  /// receiver may consume from it concurrently. When `timeout` is positive
-  /// and no reply arrives within it, resolves to a kErrTimeout message
-  /// instead of blocking forever; the timeout timer is cancelled the moment
-  /// a real reply lands, so it can never leak into a later exchange.
-  des::Task<Message> request(EndpointId from, EndpointId to, Message m,
-                             TrafficClass cls = TrafficClass::kControl,
-                             des::SimTime timeout = 0);
-
-  std::uint64_t fresh_token() { return next_token_++; }
-
-  /// Install (or clear, with nullptr) the fault-injection hook. The hook
-  /// must outlive its installation window.
-  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
-  FaultHook* fault_hook() const { return fault_; }
-
-  const TrafficStats& stats(TrafficClass c) const;
-  void reset_stats();
-  std::uint64_t dropped() const { return dropped_; }
-  /// Messages the fault hook silently dropped (not counted in dropped()).
-  std::uint64_t injected_drops() const { return injected_drops_; }
+                       TrafficClass cls = TrafficClass::kControl) override;
 
  private:
-  // Endpoints indexed by id (id N lives at slot N-1); closed endpoints
-  // leave a null tombstone so ids stay unique and find() stays O(1).
-  // Iteration in slot order matches the id-ordered walk the former
-  // std::map did, so name lookup and close_node order are unchanged.
   net::Network* network_;
-  std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  EndpointId next_id_ = 1;
-  std::uint64_t next_token_ = 1;
-  TrafficStats stats_[4];
-  std::uint64_t dropped_ = 0;
-  std::uint64_t injected_drops_ = 0;
-  FaultHook* fault_ = nullptr;
 };
 
 }  // namespace ioc::ev

@@ -23,7 +23,7 @@ FaultConfig FaultConfig::uniform(std::uint64_t seed, ClassFaults f) {
   return cfg;
 }
 
-Injector::Injector(ev::Bus& bus, FaultConfig cfg)
+Injector::Injector(ev::BusIf& bus, FaultConfig cfg)
     : bus_(&bus), cfg_(cfg), rng_(cfg.seed) {
   bus_->set_fault_hook(this);
 }

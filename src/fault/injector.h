@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "des/simulator.h"
-#include "ev/bus.h"
+#include "ev/bus_if.h"
 #include "net/cluster.h"
 #include "trace/metrics.h"
 #include "trace/sink.h"
@@ -59,7 +59,7 @@ class Injector : public ev::FaultHook {
  public:
   /// Installs itself as `bus`'s fault hook; the destructor uninstalls it
   /// (if still installed) and cancels pending crash/restart timers.
-  Injector(ev::Bus& bus, FaultConfig cfg);
+  Injector(ev::BusIf& bus, FaultConfig cfg);
   ~Injector() override;
   Injector(const Injector&) = delete;
   Injector& operator=(const Injector&) = delete;
@@ -111,7 +111,7 @@ class Injector : public ev::FaultHook {
   bool partitioned(net::NodeId src, net::NodeId dst) const;
   void mark(const char* what, const char* cls_name);
 
-  ev::Bus* bus_;
+  ev::BusIf* bus_;
   FaultConfig cfg_;
   util::Rng rng_;
   std::vector<Partition> partitions_;

@@ -1,0 +1,66 @@
+// Length-prefixed frame codec for the live control plane: one frame is one
+// ev::Message on a kernel socket. The interned MessageId is a process-local
+// handle, so the wire carries the canonical type *string* (re-interned on
+// decode — byte-identical spelling, possibly a different id in another
+// process). Payload structs are encoded by a closed tag set covering every
+// type the core control plane puts on the bus; an unknown tag or a short
+// body is a malformed frame, never a crash.
+//
+// Layout (all integers little-endian):
+//   u32  body_len            bytes after this field (bounded by
+//                            kMaxFrameBytes — a corrupt length cannot make
+//                            the decoder buffer gigabytes)
+//   u64  seq                 sender-side delivery sequence; 0 = no delivery
+//                            confirmation expected (fault-injected copies)
+//   u8   traffic class
+//   u32  from, u32 to        endpoint ids
+//   u64  token
+//   u64  size_bytes          modeled wire size
+//   u16  type_len, bytes     message type string
+//   u8   payload tag, body   see PayloadTag
+//
+// The decoder is truncation-tolerant: a partial frame decodes to "need more
+// bytes" and the caller retries after the next read. Decode errors are
+// sticky per connection (the stream framing is lost) — callers drop the
+// connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ev/message.h"
+
+namespace ioc::svc {
+
+/// Upper bound on one frame's body. Control messages are small; the only
+/// variable parts are payload strings and node lists.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class PayloadTag : std::uint8_t {
+  kNone = 0,
+  kIncrease = 1,      // core::IncreasePayload
+  kDecrease = 2,      // core::DecreasePayload
+  kDone = 3,          // core::DonePayload
+  kNeeds = 4,         // core::NeedsPayload
+  kEnableHashes = 5,  // core::EnableHashesPayload
+  kSwitchToDisk = 6,  // core::SwitchToDiskPayload
+  kMetric = 7,        // mon::MetricSample
+};
+
+struct WireFrame {
+  std::uint64_t seq = 0;
+  std::uint8_t traffic_class = 0;
+  ev::Message msg;
+};
+
+/// Append the encoded frame to *out.
+void encode_frame(const WireFrame& f, std::string* out);
+
+/// Try to decode one frame from the front of `buf`.
+/// Returns > 0 (bytes consumed, *out filled), 0 (incomplete — read more),
+/// or -1 (malformed; *error describes why when non-null).
+int try_decode(std::string_view buf, WireFrame* out,
+               std::string* error = nullptr);
+
+}  // namespace ioc::svc

@@ -1,0 +1,86 @@
+#include "svc/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <stdexcept>
+
+namespace ioc::svc {
+
+Reactor::Reactor() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) throw std::runtime_error("Reactor: epoll_create1 failed");
+  wakefd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wakefd_ < 0) {
+    ::close(epfd_);
+    throw std::runtime_error("Reactor: eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakefd_;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev);
+}
+
+Reactor::~Reactor() {
+  if (wakefd_ >= 0) ::close(wakefd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Reactor::add(int fd, std::uint32_t events, Handler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw std::runtime_error("Reactor: epoll_ctl(ADD) failed");
+  }
+  handlers_[fd] = std::move(handler);
+}
+
+void Reactor::mod(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void Reactor::del(int fd) {
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+int Reactor::poll(int timeout_ms) {
+  epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return 0;
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wakefd_) {
+      std::uint64_t v;
+      while (::read(wakefd_, &v, sizeof(v)) > 0) {
+      }
+      continue;
+    }
+    // Re-check per event: an earlier handler in this batch may have del'ed
+    // this fd. Run a copy so a handler that del()s itself stays alive.
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    Handler h = it->second;
+    h(events[i].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void Reactor::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wakefd_, &one, sizeof(one));
+}
+
+}  // namespace ioc::svc

@@ -1,0 +1,230 @@
+#include "svc/rest.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/runtime.h"
+#include "des/time.h"
+#include "svc/host.h"
+#include "trace/json.h"
+
+namespace ioc::svc {
+
+namespace {
+
+namespace json = ioc::trace::json;
+
+std::string q(const std::string& s) { return "\"" + json::escape(s) + "\""; }
+
+std::string pipeline_json(const ServiceHost::Entry& e) {
+  core::StagedPipeline& p = *e.pipeline;
+  std::string out = "{\"id\":" + std::to_string(e.id) +
+                    ",\"name\":" + q(e.name) +
+                    ",\"done\":" + (p.all_done() ? "true" : "false") +
+                    ",\"steps_emitted\":" + std::to_string(p.steps_emitted()) +
+                    ",\"virtual_time_s\":" +
+                    std::to_string(des::to_seconds(p.sim().now())) +
+                    ",\"containers\":[";
+  bool first = true;
+  for (const auto& cs : p.spec().containers) {
+    const core::Container* c = p.container(cs.name);
+    if (c == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + q(cs.name) +
+           ",\"width\":" + std::to_string(c->width()) +
+           ",\"online\":" + (c->online() ? "true" : "false") + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+/// The asynchronous half of POST .../resize: drive the real GM protocol on
+/// the pipeline's simulator and complete the parked responder when the
+/// round ends. The pipeline may be deleted while this is suspended; the
+/// coroutine finishes during its teardown drain and the responder handles
+/// a dead connection by dropping the response.
+des::Process resize_round(core::StagedPipeline* p, std::string container,
+                          int delta, HttpResponder res) {
+  core::ProtocolReport rep;
+  if (delta >= 0) {
+    auto t = p->gm().increase(container, static_cast<std::uint32_t>(delta));
+    rep = co_await t;
+  } else {
+    auto t = p->gm().decrease(container, static_cast<std::uint32_t>(-delta));
+    rep = co_await t;
+  }
+  std::string body = "{\"action\":" + q(rep.action) +
+                     ",\"container\":" + q(rep.container) +
+                     ",\"delta\":" + std::to_string(rep.delta) +
+                     ",\"ok\":" + (rep.ok ? "true" : "false") +
+                     ",\"total_s\":" + std::to_string(des::to_seconds(rep.total)) +
+                     "}";
+  res.respond(200, "application/json", std::move(body));
+}
+
+/// "/v1/pipelines/17/resize" -> {17, "resize"}; missing pieces are empty.
+struct Route {
+  bool is_pipeline = false;
+  std::uint64_t id = 0;
+  std::string tail;
+};
+
+Route parse_pipeline_route(const std::string& target) {
+  Route r;
+  const std::string prefix = "/v1/pipelines";
+  if (target.compare(0, prefix.size(), prefix) != 0) return r;
+  std::string rest = target.substr(prefix.size());
+  r.is_pipeline = true;
+  if (rest.empty() || rest == "/") return r;  // collection itself
+  if (rest[0] != '/') {
+    r.is_pipeline = false;
+    return r;
+  }
+  rest.erase(0, 1);
+  const std::size_t slash = rest.find('/');
+  const std::string id_part = rest.substr(0, slash);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(id_part.c_str(), &end, 10);
+  if (end == id_part.c_str() || *end != '\0') {
+    r.is_pipeline = false;
+    return r;
+  }
+  r.id = v;
+  if (slash != std::string::npos) r.tail = rest.substr(slash + 1);
+  return r;
+}
+
+}  // namespace
+
+void RestApi::handle(const HttpRequest& req, HttpResponder res) {
+  std::string target = req.target;
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  if (target == "/metrics") {
+    if (req.method != "GET") {
+      res.respond(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    res.respond(200, "text/plain; version=0.0.4", host_->metrics_text());
+    return;
+  }
+
+  const Route route = parse_pipeline_route(target);
+  if (!route.is_pipeline) {
+    res.respond(404, "text/plain", "not found\n");
+    return;
+  }
+
+  // Collection: POST (create) / GET (list).
+  if (route.id == 0 && route.tail.empty()) {
+    if (req.method == "GET") {
+      std::string body = "{\"pipelines\":[";
+      bool first = true;
+      for (const auto& [id, e] : host_->entries()) {
+        if (!first) body += ",";
+        first = false;
+        body += pipeline_json(e);
+      }
+      body += "]}";
+      res.respond(200, "application/json", std::move(body));
+      return;
+    }
+    if (req.method != "POST") {
+      res.respond(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    json::Value doc;
+    std::string error;
+    if (!json::parse(req.body, &doc, &error) || !doc.is_object()) {
+      res.respond(400, "application/json",
+                  "{\"error\":" + q("malformed JSON body: " + error) + "}");
+      return;
+    }
+    const std::string preset = doc.str_or("preset", "lammps_smartpointer");
+    const auto sim_nodes =
+        static_cast<std::uint64_t>(doc.num_or("sim_nodes", 256));
+    const auto staging =
+        static_cast<std::size_t>(doc.num_or("staging_nodes", 13));
+    core::PipelineSpec spec;
+    if (preset == "lammps_smartpointer") {
+      spec = core::PipelineSpec::lammps_smartpointer(sim_nodes, staging);
+    } else if (preset == "s3d_fronttracking") {
+      spec = core::PipelineSpec::s3d_fronttracking(sim_nodes, staging);
+    } else {
+      res.respond(400, "application/json",
+                  "{\"error\":" + q("unknown preset '" + preset + "'") + "}");
+      return;
+    }
+    if (doc.find("steps") != nullptr) {
+      spec.steps = static_cast<std::uint64_t>(doc.num_or("steps", spec.steps));
+    }
+    if (const auto* m = doc.find("management"); m != nullptr) {
+      spec.management_enabled = m->boolean;
+    }
+    try {
+      spec.validate();
+    } catch (const std::exception& ex) {
+      res.respond(400, "application/json",
+                  "{\"error\":" + q(ex.what()) + "}");
+      return;
+    }
+    ServiceHost::Entry& e =
+        host_->create(std::move(spec), doc.str_or("name", ""));
+    res.respond(201, "application/json", pipeline_json(e));
+    return;
+  }
+
+  // Member routes need an existing pipeline.
+  ServiceHost::Entry* e = host_->find(route.id);
+  if (e == nullptr) {
+    res.respond(404, "application/json", "{\"error\":\"no such pipeline\"}");
+    return;
+  }
+
+  if (route.tail.empty()) {
+    if (req.method == "GET") {
+      res.respond(200, "application/json", pipeline_json(*e));
+      return;
+    }
+    if (req.method == "DELETE") {
+      host_->erase(route.id);
+      res.respond(204, "", "");
+      return;
+    }
+    res.respond(405, "text/plain", "method not allowed\n");
+    return;
+  }
+
+  if (route.tail == "resize") {
+    if (req.method != "POST") {
+      res.respond(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    json::Value doc;
+    std::string error;
+    if (!json::parse(req.body, &doc, &error) || !doc.is_object()) {
+      res.respond(400, "application/json",
+                  "{\"error\":" + q("malformed JSON body: " + error) + "}");
+      return;
+    }
+    const std::string container = doc.str_or("container");
+    const int delta = static_cast<int>(doc.num_or("delta", 0));
+    if (container.empty() || delta == 0 ||
+        e->pipeline->container(container) == nullptr) {
+      res.respond(400, "application/json",
+                  "{\"error\":\"resize needs a known container and a "
+                  "nonzero delta\"}");
+      return;
+    }
+    spawn(e->pipeline->sim(),
+          resize_round(e->pipeline.get(), container, delta, res));
+    return;
+  }
+
+  res.respond(404, "text/plain", "not found\n");
+}
+
+}  // namespace ioc::svc

@@ -137,6 +137,17 @@ class Parser {
     return true;
   }
 
+  /// Four hex digits of a \u escape (the backslash-u already consumed).
+  bool hex4(long* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    const std::string hex(text_.substr(pos_, 4));
+    pos_ += 4;
+    char* end = nullptr;
+    *out = std::strtol(hex.c_str(), &end, 16);
+    if (end != hex.c_str() + 4) return fail("malformed \\u escape");
+    return true;
+  }
+
   bool string(std::string* out) {
     if (!consume('"')) return fail("expected '\"'");
     out->clear();
@@ -159,21 +170,43 @@ class Parser {
         case 'b': out->push_back('\b'); break;
         case 'f': out->push_back('\f'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
-          const std::string hex(text_.substr(pos_, 4));
-          pos_ += 4;
-          char* end = nullptr;
-          const long cp = std::strtol(hex.c_str(), &end, 16);
-          if (end != hex.c_str() + 4) return fail("malformed \\u escape");
-          // The exporters only emit control characters this way; encode the
-          // code point as UTF-8 for completeness.
+          long cp = 0;
+          if (!hex4(&cp)) return false;
+          if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            // A low surrogate with no preceding high surrogate can never
+            // name a code point; passing it through would emit bytes no
+            // UTF-8 consumer accepts.
+            return fail("unpaired low surrogate in \\u escape");
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: JSON encodes astral code points as a
+            // \uD800-\uDBFF, \uDC00-\uDFFF pair. Decoding each half
+            // independently would produce CESU-8, so combine them into the
+            // single code point before UTF-8 encoding.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            long lo = 0;
+            if (!hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return fail("unpaired high surrogate in \\u escape");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
           if (cp < 0x80) {
             out->push_back(static_cast<char>(cp));
           } else if (cp < 0x800) {
             out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
             out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          } else {
+          } else if (cp < 0x10000) {
             out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
           }

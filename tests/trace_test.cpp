@@ -224,6 +224,49 @@ TEST(Json, ParsesUnicodeEscapes) {
   EXPECT_EQ(v.str, "A\xc3\xa9");
 }
 
+TEST(Json, CombinesSurrogatePairsIntoOneCodePoint) {
+  json::Value v;
+  std::string err;
+  // U+1F600 GRINNING FACE as the surrogate pair D83D DE00: one 4-byte
+  // UTF-8 sequence, not two 3-byte WTF-8 surrogate encodings.
+  ASSERT_TRUE(json::parse("\"\\uD83D\\uDE00\"", &v, &err)) << err;
+  EXPECT_EQ(v.str, "\xf0\x9f\x98\x80");
+  // Lowercase hex and surrounding text both survive.
+  ASSERT_TRUE(json::parse("\"a\\ud83d\\ude00z\"", &v, &err)) << err;
+  EXPECT_EQ(v.str, "a\xf0\x9f\x98\x80z");
+  // U+10FFFF, the last code point, through the pair DBFF DFFF.
+  ASSERT_TRUE(json::parse("\"\\uDBFF\\uDFFF\"", &v, &err)) << err;
+  EXPECT_EQ(v.str, "\xf4\x8f\xbf\xbf");
+}
+
+TEST(Json, SupplementaryPlaneRoundTripsThroughEscape) {
+  // escape() emits raw UTF-8 bytes for non-ASCII; the decoded parse result
+  // must be byte-identical to the original for astral-plane input.
+  const std::string raw = "emoji \xf0\x9f\x98\x80 and text";
+  const std::string quoted = "\"" + json::escape(raw) + "\"";
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(quoted, &v, &err)) << err;
+  EXPECT_EQ(v.str, raw);
+}
+
+TEST(Json, RejectsUnpairedSurrogates) {
+  json::Value v;
+  std::string err;
+  // A high surrogate with no low surrogate after it.
+  EXPECT_FALSE(json::parse("\"\\uD83D\"", &v, &err));
+  EXPECT_NE(err.find("surrogate"), std::string::npos) << err;
+  // High surrogate followed by a non-surrogate escape.
+  EXPECT_FALSE(json::parse("\"\\uD83D\\u0041\"", &v, &err));
+  // High surrogate followed by plain text.
+  EXPECT_FALSE(json::parse("\"\\uD83Dxy\"", &v, &err));
+  // A lone low surrogate.
+  EXPECT_FALSE(json::parse("\"\\uDE00\"", &v, &err));
+  EXPECT_NE(err.find("surrogate"), std::string::npos) << err;
+  // Truncated escape inside a would-be pair.
+  EXPECT_FALSE(json::parse("\"\\uD83D\\uDE\"", &v, &err));
+}
+
 TEST(Json, RejectsMalformedAndTrailingGarbage) {
   json::Value v;
   std::string err;

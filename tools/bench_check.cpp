@@ -33,6 +33,14 @@
 //     metric is ns_per_op (wall-clock, manual/CI-perf comparison like the
 //     kernels).
 //
+//   ioc.bench.svc/v1 (tools/ioc_loadgen -> BENCH_svc.json): the live HTTP
+//     control-plane load test. Rows must carry their connection count (at
+//     least one row at >= 256), positive request counts and throughput,
+//     ordered latency quantiles, and zero dropped responses. Gated metrics:
+//     p99_ms upward and requests_per_sec downward — both wall-clock, so the
+//     default ctest entry passes --sim-only and the full comparison is the
+//     manual/CI-perf step, exactly like the fleet throughput gate.
+//
 // The full tag list lives in bench_schemas.h, shared with doc_check.
 //
 // With --baseline it additionally compares the fresh artifact against a
@@ -42,11 +50,15 @@
 // rows that only exist in the fresh run are fine. The two files must carry
 // the same schema tag. --update-baseline rewrites the baseline file from a
 // fresh artifact that passed the schema checks — the escape hatch after an
-// intentional change.
+// intentional change. A baseline metric of exactly zero (legal, e.g. a
+// fleet point that performed no resizes) gates by absolute delta instead
+// of percentage: the fresh value must stay within the metric's
+// zero_allowance, closing the hole where zero baselines skipped the gate.
 //
 // usage: bench_check [--baseline FILE] [--max-regression PCT]
 //                    [--update-baseline] <BENCH_*.json>
 // exit 0 clean, 1 findings, 2 usage.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -256,6 +268,61 @@ void check_des_schema(const ioc::trace::json::Value& root,
   }
 }
 
+/// Live-service artifact validation (ioc.bench.svc/v1, emitted by
+/// tools/ioc_loadgen): every row is one load-generation run against the
+/// HTTP control API. Rows must report their concurrency, a positive
+/// request count and throughput, ordered latency quantiles, and zero
+/// dropped responses (a drop is a correctness failure, not a slow run);
+/// at least one row must demonstrate >= 256 concurrent connections.
+void check_svc_schema(const ioc::trace::json::Value& root,
+                      const std::string& label,
+                      std::vector<std::string>* findings) {
+  auto fail = [&](std::string msg) {
+    findings->push_back(label + ": " + std::move(msg));
+  };
+
+  if (root.str_or("unit") != "p99_ms") {
+    fail("unit is '" + root.str_or("unit") + "', expected 'p99_ms'");
+  }
+  const auto* results = root.find("results");
+  if (results == nullptr || !results->is_array()) {
+    fail("missing 'results' array");
+    return;
+  }
+  if (results->array.empty()) {
+    fail("'results' is empty");
+    return;
+  }
+  double max_connections = 0;
+  std::size_t idx = 0;
+  for (const auto& r : results->array) {
+    const std::string at = "results[" + std::to_string(idx++) + "]";
+    if (!r.is_object()) {
+      fail(at + " is not an object");
+      continue;
+    }
+    if (r.str_or("benchmark").empty()) fail(at + " lacks a benchmark name");
+    const double conns = r.num_or("connections");
+    if (conns < 1 || conns > 65536) fail(at + " connections out of range");
+    if (r.num_or("requests") < 1) fail(at + " requests must be >= 1");
+    if (r.num_or("requests_per_sec") <= 0) {
+      fail(at + " requests_per_sec must be > 0");
+    }
+    const double p50 = r.num_or("p50_ms");
+    const double p99 = r.num_or("p99_ms");
+    if (p50 < 0) fail(at + " p50_ms must be >= 0");
+    if (p99 <= 0) fail(at + " p99_ms must be > 0");
+    if (p99 < p50) fail(at + " p99_ms must be >= p50_ms");
+    if (r.find("dropped") == nullptr || r.num_or("dropped") != 0) {
+      fail(at + " dropped must be present and 0");
+    }
+    max_connections = std::max(max_connections, conns);
+  }
+  if (max_connections < 256) {
+    fail("no results row with >= 256 concurrent connections");
+  }
+}
+
 /// Dispatch on the artifact's schema tag; tags are first checked against the
 /// shared bench_schemas.h table, so a typo'd or future schema never silently
 /// passes (and doc_check cross-checks the docs against the same table).
@@ -278,6 +345,8 @@ void check_schema(const ioc::trace::json::Value& root, const std::string& label,
     check_fleet_schema(root, true, label, findings);
   } else if (schema == "ioc.bench.des/v1") {
     check_des_schema(root, label, findings);
+  } else if (schema == "ioc.bench.svc/v1") {
+    check_svc_schema(root, label, findings);
   }
 }
 
@@ -290,6 +359,13 @@ struct GatedMetric {
   const char* name;
   bool higher_is_worse;
   bool wall_clock;
+  /// Absolute allowance used when the baseline value is exactly zero, where
+  /// the percentage gate is undefined (any nonzero fresh value is an
+  /// infinite relative regression). A zero baseline is legal — e.g. a fleet
+  /// point that performed no resizes reports resize_p99_ms 0.0 — and used
+  /// to slip through the gate entirely; now the fresh value must stay
+  /// within this absolute delta instead.
+  double zero_allowance = 0;
 };
 
 /// The metrics the per-row regression gate compares for a given schema.
@@ -298,13 +374,19 @@ struct GatedMetric {
 /// the control plane faster by doing less of its job" as well as plain
 /// slowdowns.
 std::vector<GatedMetric> gated_metrics(const std::string& schema) {
-  if (schema == "ioc.bench.fleet/v1") return {{"resize_p99_ms", true, false}};
-  if (schema == "ioc.bench.fleet/v2") {
-    return {{"resize_p99_ms", true, false},
-            {"events_per_wall_sec", false, true}};
+  if (schema == "ioc.bench.fleet/v1") {
+    return {{"resize_p99_ms", true, false, 1.0}};
   }
-  if (schema == "ioc.bench.des/v1") return {{"ns_per_op", true, true}};
-  return {{"ns_per_atom", true, true}};
+  if (schema == "ioc.bench.fleet/v2") {
+    return {{"resize_p99_ms", true, false, 1.0},
+            {"events_per_wall_sec", false, true, 0}};
+  }
+  if (schema == "ioc.bench.des/v1") return {{"ns_per_op", true, true, 1.0}};
+  if (schema == "ioc.bench.svc/v1") {
+    return {{"p99_ms", true, true, 1.0},
+            {"requests_per_sec", false, true, 0}};
+  }
+  return {{"ns_per_atom", true, true, 1.0}};
 }
 
 /// Per-row regression gate: every baseline row must still exist and must
@@ -345,9 +427,27 @@ void compare_to_baseline(const ioc::trace::json::Value& fresh,
     }
     for (const GatedMetric& metric : metrics) {
       if (sim_only && metric.wall_clock) continue;
+      // A metric the baseline row never carried is not gateable; a metric
+      // present with value 0 is a real measurement and must still gate
+      // (num_or cannot tell the two apart, so check presence explicitly).
+      if (r.find(metric.name) == nullptr) continue;
       const double base = r.num_or(metric.name);
-      if (base <= 0) continue;  // zero/absent baseline metric: nothing to gate
       const double got = it->second->num_or(metric.name);
+      if (base <= 0) {
+        // The percentage gate is undefined at zero; fall back to an
+        // absolute-delta gate. Only meaningful in the higher-is-worse
+        // direction — a throughput of zero has nothing left to collapse.
+        if (metric.higher_is_worse && got > metric.zero_allowance) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "'%s' regressed from a zero baseline: 0 -> %.1f %s "
+                        "(allowed absolute delta %.1f)",
+                        name.c_str(), got, metric.name,
+                        metric.zero_allowance);
+          findings->push_back(buf);
+        }
+        continue;
+      }
       const bool regressed = metric.higher_is_worse
                                  ? got > base * allowance
                                  : got * allowance < base;
